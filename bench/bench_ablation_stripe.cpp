@@ -1,0 +1,32 @@
+// Ablation B — the paper's closing design question for parallel file
+// systems: "flexible, application-specific disk file striping and
+// distribution patterns".  Sweep the stripe size of the PVFS-like system
+// under the ENZO checkpoint workload and report where the fixed-stripe
+// design helps or hurts.
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace paramrio;
+
+int main() {
+  std::printf(
+      "\n== Ablation B — stripe-size sweep (Chiba/PVFS, AMR64, 8 procs) "
+      "==\n");
+  std::printf("%-12s %12s %12s\n", "stripe", "write[s]", "read[s]");
+  for (std::uint64_t stripe :
+       {16 * KiB, 64 * KiB, 256 * KiB, MiB, 4 * MiB}) {
+    bench::RunSpec spec;
+    spec.machine = platform::chiba_pvfs_ethernet();
+    spec.machine.striped_fs.stripe_size = stripe;
+    spec.config = enzo::SimulationConfig::for_size(enzo::ProblemSize::kAmr64);
+    spec.nprocs = 8;
+    spec.backend = bench::Backend::kMpiIo;
+    bench::IoResult r = bench::run_enzo_io(spec);
+    std::printf("%-12llu %12.3f %12.3f\n",
+                static_cast<unsigned long long>(stripe / KiB), r.write_time,
+                r.read_time);
+  }
+  std::printf("(stripe column in KiB)\n");
+  return 0;
+}

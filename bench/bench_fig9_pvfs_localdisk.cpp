@@ -1,0 +1,46 @@
+// Figure 9 — I/O performance on Chiba City with each compute node accessing
+// its local disk through the PVFS interface.
+//
+// Paper's qualitative result: with the slow Ethernet removed from the data
+// path, MPI-IO has much better overall performance than HDF4 serial I/O and
+// scales well with the number of processors (every rank streams to its own
+// spindle; HDF4 still funnels everything through processor 0's one disk).
+#include <cstdio>
+
+#include "harness.hpp"
+
+using namespace paramrio;
+
+int main() {
+  bench::print_header(
+      "Figure 9 — ENZO I/O on Chiba City / PVFS interface to local disks",
+      "paper: MPI-IO much faster than HDF4 and scales with processors");
+
+  for (auto size : {enzo::ProblemSize::kAmr64, enzo::ProblemSize::kAmr128}) {
+    double first_mpiio_write = 0.0;
+    for (int p : {2, 4, 8}) {
+      bench::IoResult res[2];
+      int i = 0;
+      for (auto b : {bench::Backend::kHdf4, bench::Backend::kMpiIo}) {
+        bench::RunSpec spec;
+        spec.machine = platform::chiba_local_disk();
+        spec.config = enzo::SimulationConfig::for_size(size);
+        spec.nprocs = p;
+        spec.backend = b;
+        res[i] = bench::run_enzo_io(spec);
+        bench::print_row(spec.machine.name, enzo::to_string(size), p, b,
+                         res[i]);
+        ++i;
+      }
+      std::printf("    -> MPI-IO speedup over HDF4: write %.2fx, read %.2fx\n",
+                  res[0].write_time / res[1].write_time,
+                  res[0].read_time / res[1].read_time);
+      if (p == 2) first_mpiio_write = res[1].write_time;
+      if (p == 8 && first_mpiio_write > 0.0) {
+        std::printf("    -> MPI-IO write scaling 2->8 procs: %.2fx\n",
+                    first_mpiio_write / res[1].write_time);
+      }
+    }
+  }
+  return 0;
+}

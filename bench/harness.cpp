@@ -1,0 +1,121 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "enzo/dump_common.hpp"
+
+namespace paramrio::bench {
+
+std::string to_string(Backend b) {
+  switch (b) {
+    case Backend::kHdf4:
+      return "HDF4";
+    case Backend::kMpiIo:
+      return "MPI-IO";
+    case Backend::kHdf5:
+      return "HDF5";
+    case Backend::kPnetcdf:
+      return "PnetCDF";
+  }
+  throw LogicError("bad Backend");
+}
+
+namespace {
+std::unique_ptr<enzo::IoBackend> make_backend(const RunSpec& spec,
+                                              pfs::FileSystem& fs) {
+  switch (spec.backend) {
+    case Backend::kHdf4:
+      return std::make_unique<enzo::Hdf4SerialBackend>(fs);
+    case Backend::kMpiIo:
+      return std::make_unique<enzo::MpiIoBackend>(fs, spec.hints);
+    case Backend::kHdf5:
+      return std::make_unique<enzo::Hdf5ParallelBackend>(fs,
+                                                         spec.hdf5_config);
+    case Backend::kPnetcdf:
+      return std::make_unique<enzo::PnetcdfBackend>(fs, spec.hints);
+  }
+  throw LogicError("bad Backend");
+}
+
+std::uint64_t dump_payload_bytes(const enzo::SimulationState& s,
+                                 std::uint64_t n_particles) {
+  std::uint64_t bytes = static_cast<std::uint64_t>(amr::kNumBaryonFields) *
+                        s.config.root_cells() * sizeof(float);
+  bytes += enzo::particle_payload_bytes(n_particles);
+  for (const auto& g : s.hierarchy.grids()) {
+    if (g.level == 0) continue;
+    bytes += static_cast<std::uint64_t>(amr::kNumBaryonFields) *
+             g.cell_count() * sizeof(float);
+  }
+  return bytes;
+}
+}  // namespace
+
+IoResult run_enzo_io(const RunSpec& spec) {
+  platform::Testbed tb(spec.machine, spec.nprocs);
+  IoResult result;
+
+  tb.runtime().run([&](mpi::Comm& c) {
+    auto backend = make_backend(spec, tb.fs());
+    enzo::EnzoSimulation sim(c, spec.config);
+    sim.initialize_from_universe();
+    for (int i = 0; i < spec.evolve_cycles; ++i) sim.evolve_cycle();
+
+    std::uint64_t n_particles =
+        c.allreduce_sum(sim.state().my_particles.size());
+
+    // ---- timed checkpoint write ----------------------------------------
+    c.barrier();
+    double t0 = c.proc().now();
+    std::uint64_t w0 = c.proc().stats().io_bytes_written;
+    backend->write_dump(c, sim.state(), "dump");
+    c.barrier();
+    double t1 = c.proc().now();
+    std::uint64_t dw = c.proc().stats().io_bytes_written - w0;
+
+    // ---- timed restart read ---------------------------------------------
+    // (The paper's dominant read path: top-grid partitioned like a new-
+    // simulation read, subgrids read whole, round-robin.)  Caches are
+    // dropped first: a restart is a new job reading cold data.
+    if (c.rank() == 0) tb.fs().drop_caches();
+    enzo::EnzoSimulation fresh(c, spec.config);
+    c.barrier();
+    double t2 = c.proc().now();
+    std::uint64_t r0 = c.proc().stats().io_bytes_read;
+    backend->read_restart(c, fresh.state(), "dump");
+    c.barrier();
+    double t3 = c.proc().now();
+    std::uint64_t dr = c.proc().stats().io_bytes_read - r0;
+
+    std::uint64_t sum_w = c.allreduce_sum(dw);
+    std::uint64_t sum_r = c.allreduce_sum(dr);
+    if (c.rank() == 0) {
+      result.write_time = t1 - t0;
+      result.read_time = t3 - t2;
+      result.fs_bytes_written = sum_w;
+      result.fs_bytes_read = sum_r;
+      result.payload_bytes = dump_payload_bytes(sim.state(), n_particles);
+      result.grids = sim.state().hierarchy.grid_count();
+    }
+  });
+  return result;
+}
+
+void print_header(const std::string& title, const std::string& note) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("%-22s %-8s %5s %-7s %10s %10s %12s %12s\n", "platform", "size",
+              "procs", "io", "read[s]", "write[s]", "read[MB]", "write[MB]");
+}
+
+void print_row(const std::string& platform, const std::string& size, int p,
+               Backend b, const IoResult& r) {
+  std::printf("%-22s %-8s %5d %-7s %10.3f %10.3f %12.2f %12.2f\n",
+              platform.c_str(), size.c_str(), p, to_string(b).c_str(),
+              r.read_time, r.write_time,
+              static_cast<double>(r.fs_bytes_read) / 1.0e6,
+              static_cast<double>(r.fs_bytes_written) / 1.0e6);
+}
+
+}  // namespace paramrio::bench

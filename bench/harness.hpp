@@ -1,0 +1,48 @@
+// Shared measurement harness for the per-figure benches: run the ENZO-style
+// application on a simulated platform, time the checkpoint write and the
+// new-simulation read for a chosen I/O backend, and report byte counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "enzo/backends.hpp"
+#include "enzo/simulation.hpp"
+#include "hdf5/h5_file.hpp"
+#include "platform/machine.hpp"
+
+namespace paramrio::bench {
+
+enum class Backend { kHdf4, kMpiIo, kHdf5, kPnetcdf };
+
+std::string to_string(Backend b);
+
+struct IoResult {
+  double write_time = 0.0;  ///< virtual seconds, barrier-to-barrier
+  double read_time = 0.0;
+  std::uint64_t fs_bytes_written = 0;  ///< bytes the file system moved
+  std::uint64_t fs_bytes_read = 0;
+  std::uint64_t payload_bytes = 0;     ///< application data per dump
+  std::uint64_t grids = 0;             ///< grids in the dumped hierarchy
+};
+
+struct RunSpec {
+  platform::Machine machine;
+  enzo::SimulationConfig config;
+  int nprocs = 8;
+  Backend backend = Backend::kMpiIo;
+  hdf5::FileConfig hdf5_config;  ///< overhead toggles for the HDF5 backend
+  mpi::io::Hints hints;          ///< MPI-IO hints (collective buffer etc.)
+  int evolve_cycles = 1;         ///< cycles before the dump (moves clumps)
+};
+
+/// Execute: initialise from the universe, evolve, timed checkpoint write,
+/// then a timed new-simulation read of that dump into a fresh state.
+IoResult run_enzo_io(const RunSpec& spec);
+
+/// Pretty row printer used by the figure benches.
+void print_header(const std::string& title, const std::string& note);
+void print_row(const std::string& platform, const std::string& size, int p,
+               Backend b, const IoResult& r);
+
+}  // namespace paramrio::bench

@@ -1,0 +1,87 @@
+// Scenario: a production-style cosmology run — evolve the AMR hierarchy for
+// several cycles, taking a checkpoint dump every second cycle with each of
+// the three I/O backends in turn, and report how the grid hierarchy and the
+// per-dump I/O cost evolve as the clumps collapse and drift.
+//
+//   $ ./examples/cosmology_checkpoint
+#include <cstdio>
+#include <memory>
+
+#include "enzo/backends.hpp"
+#include "enzo/simulation.hpp"
+#include "platform/machine.hpp"
+
+using namespace paramrio;
+
+int main() {
+  platform::Machine machine = platform::origin2000_xfs();
+  const int nprocs = 8;
+  const int cycles = 6;
+
+  struct Row {
+    std::uint64_t cycle;
+    std::size_t grids;
+    std::uint64_t refined_cells;
+    std::uint64_t particles;
+    double hdf4_s, mpiio_s, hdf5_s, pnetcdf_s;
+  };
+  std::vector<Row> rows;
+
+  platform::Testbed testbed(machine, nprocs);
+  testbed.runtime().run([&](mpi::Comm& comm) {
+    enzo::SimulationConfig config;
+    config.root_dims = {64, 64, 64};
+    config.star_formation_rate = 0.03;  // stars form as clumps collapse
+
+    enzo::Hdf4SerialBackend hdf4(testbed.fs());
+    enzo::MpiIoBackend mpiio(testbed.fs());
+    enzo::Hdf5ParallelBackend hdf5(testbed.fs());
+    enzo::PnetcdfBackend pnetcdf(testbed.fs());
+
+    enzo::EnzoSimulation sim(comm, config);
+    sim.initialize_from_universe();
+
+    for (int cyc = 0; cyc < cycles; ++cyc) {
+      sim.evolve_cycle();
+      if (cyc % 2 != 1) continue;
+
+      Row row{};
+      row.cycle = sim.state().cycle;
+      row.grids = sim.state().hierarchy.grid_count();
+      row.refined_cells =
+          sim.state().hierarchy.total_cells() - config.root_cells();
+      row.particles = comm.allreduce_sum(sim.state().my_particles.size());
+
+      auto timed = [&](enzo::IoBackend& b, const std::string& base) {
+        comm.barrier();
+        double t0 = comm.proc().now();
+        b.write_dump(comm, sim.state(), base);
+        comm.barrier();
+        return comm.proc().now() - t0;
+      };
+      row.hdf4_s = timed(hdf4, "ckpt_hdf4");
+      row.mpiio_s = timed(mpiio, "ckpt_mpiio");
+      row.hdf5_s = timed(hdf5, "ckpt_hdf5");
+      row.pnetcdf_s = timed(pnetcdf, "ckpt_pnetcdf");
+      if (comm.rank() == 0) rows.push_back(row);
+    }
+  });
+
+  std::printf("\ncheckpoint cost as the universe evolves (%s, %d procs)\n",
+              machine.name.c_str(), nprocs);
+  std::printf("%6s %7s %14s %10s %10s %10s %10s %11s\n", "cycle", "grids",
+              "refined cells", "particles", "HDF4[s]", "MPI-IO[s]", "HDF5[s]",
+              "PnetCDF[s]");
+  for (const Row& r : rows) {
+    std::printf("%6llu %7zu %14llu %10llu %10.3f %10.3f %10.3f %11.3f\n",
+                static_cast<unsigned long long>(r.cycle), r.grids,
+                static_cast<unsigned long long>(r.refined_cells),
+                static_cast<unsigned long long>(r.particles), r.hdf4_s,
+                r.mpiio_s, r.hdf5_s, r.pnetcdf_s);
+  }
+  std::printf(
+      "\nthe ranking (MPI-IO ~ PnetCDF < HDF4 << HDF5) combines the paper's "
+      "central result\nwith its future-work extension; star formation grows "
+      "the dumps cycle over cycle\n");
+  return 0;
+}

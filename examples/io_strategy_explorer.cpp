@@ -1,0 +1,104 @@
+// Scenario: an interactive-style explorer for "what would this I/O strategy
+// cost on that machine?" — the question the paper answers for four
+// platforms.  Pick platform, problem size, processor count, and backend on
+// the command line; prints timed write + restart-read results.
+//
+//   $ ./examples/io_strategy_explorer [platform] [size] [procs] [backend]
+//     platform: origin | sp2 | pvfs | localdisk     (default origin)
+//     size:     64 | 128 | 256                      (default 64)
+//     procs:    any                                 (default 8)
+//     backend:  hdf4 | mpiio | hdf5 | pnetcdf       (default mpiio)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "enzo/backends.hpp"
+#include "enzo/simulation.hpp"
+#include "platform/machine.hpp"
+
+using namespace paramrio;
+
+int main(int argc, char** argv) {
+  std::string plat = argc > 1 ? argv[1] : "origin";
+  std::string size = argc > 2 ? argv[2] : "64";
+  int nprocs = argc > 3 ? std::atoi(argv[3]) : 8;
+  std::string back = argc > 4 ? argv[4] : "mpiio";
+
+  platform::Machine machine;
+  if (plat == "origin") {
+    machine = platform::origin2000_xfs();
+  } else if (plat == "sp2") {
+    machine = platform::sp2_gpfs();
+  } else if (plat == "pvfs") {
+    machine = platform::chiba_pvfs_ethernet();
+  } else if (plat == "localdisk") {
+    machine = platform::chiba_local_disk();
+  } else {
+    std::fprintf(stderr, "unknown platform '%s'\n", plat.c_str());
+    return 1;
+  }
+
+  enzo::SimulationConfig config;
+  if (size == "64") {
+    config = enzo::SimulationConfig::for_size(enzo::ProblemSize::kAmr64);
+  } else if (size == "128") {
+    config = enzo::SimulationConfig::for_size(enzo::ProblemSize::kAmr128);
+  } else if (size == "256") {
+    config = enzo::SimulationConfig::for_size(enzo::ProblemSize::kAmr256);
+  } else {
+    std::fprintf(stderr, "unknown size '%s'\n", size.c_str());
+    return 1;
+  }
+
+  platform::Testbed testbed(machine, nprocs);
+  testbed.runtime().run([&](mpi::Comm& comm) {
+    std::unique_ptr<enzo::IoBackend> backend;
+    if (back == "hdf4") {
+      backend = std::make_unique<enzo::Hdf4SerialBackend>(testbed.fs());
+    } else if (back == "mpiio") {
+      backend = std::make_unique<enzo::MpiIoBackend>(testbed.fs());
+    } else if (back == "hdf5") {
+      backend = std::make_unique<enzo::Hdf5ParallelBackend>(testbed.fs());
+    } else if (back == "pnetcdf") {
+      backend = std::make_unique<enzo::PnetcdfBackend>(testbed.fs());
+    } else {
+      throw Error("unknown backend " + back);
+    }
+
+    enzo::EnzoSimulation sim(comm, config);
+    sim.initialize_from_universe();
+    sim.evolve_cycle();
+
+    comm.barrier();
+    double t0 = comm.proc().now();
+    backend->write_dump(comm, sim.state(), "explore");
+    comm.barrier();
+    double t1 = comm.proc().now();
+
+    if (comm.rank() == 0) testbed.fs().drop_caches();
+    enzo::EnzoSimulation fresh(comm, config);
+    comm.barrier();
+    double t2 = comm.proc().now();
+    backend->read_restart(comm, fresh.state(), "explore");
+    comm.barrier();
+    double t3 = comm.proc().now();
+
+    std::uint64_t written = comm.allreduce_sum(
+        comm.proc().stats().io_bytes_written);
+    if (comm.rank() == 0) {
+      std::printf("%s, AMR%s, %d procs, %s backend\n", machine.name.c_str(),
+                  size.c_str(), nprocs, backend->name().c_str());
+      std::printf("  checkpoint write : %8.3f virtual s\n", t1 - t0);
+      std::printf("  restart read     : %8.3f virtual s\n", t3 - t2);
+      std::printf("  grids            : %zu (%llu refined cells)\n",
+                  sim.state().hierarchy.grid_count(),
+                  static_cast<unsigned long long>(
+                      sim.state().hierarchy.total_cells() -
+                      config.root_cells()));
+      std::printf("  bytes written    : %8.2f MB (all ranks)\n",
+                  static_cast<double>(written) / 1e6);
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Scenario: the MPI-IO substrate by itself — no cosmology.  Demonstrates
+// the library's file views, derived datatypes, collective two-phase I/O and
+// data sieving, by writing a (Block,Block,Block)-partitioned 3-D array and
+// reading it back with a *different* decomposition, then comparing the
+// strategies' virtual-time costs.
+//
+//   $ ./examples/parallel_io_primer
+#include <cstdio>
+#include <cstring>
+
+#include "amr/decomp.hpp"
+#include "mpi/io/file.hpp"
+#include "platform/machine.hpp"
+
+using namespace paramrio;
+
+int main() {
+  const std::uint64_t n = 64;
+  const int nprocs = 8;
+  platform::Machine machine = platform::sp2_gpfs();
+  platform::Testbed testbed(machine, nprocs);
+
+  testbed.runtime().run([&](mpi::Comm& comm) {
+    // --- write a z-slab-decomposed double array collectively --------------
+    auto [zs, zc] = amr::block_range(n, comm.size(), comm.rank());
+    mpi::io::File file(comm, testbed.fs(), "cube", pfs::OpenMode::kCreate);
+    file.set_view(0, mpi::Datatype::subarray({n, n, n}, {zc, n, n},
+                                             {zs, 0, 0}, sizeof(double)));
+    std::vector<double> mine(zc * n * n);
+    for (std::uint64_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<double>(zs * n * n + i);
+    }
+    comm.barrier();
+    double t0 = comm.proc().now();
+    file.write_at_all(0, std::as_bytes(std::span(mine)));
+    comm.barrier();
+    double write_time = comm.proc().now() - t0;
+
+    // --- read back x-slabs: every byte crosses ranks ---------------------
+    if (comm.rank() == 0) testbed.fs().drop_caches();  // cold read
+    auto [xs, xc] = amr::block_range(n, comm.size(), comm.rank());
+    file.set_view(0, mpi::Datatype::subarray({n, n, n}, {n, n, xc},
+                                             {0, 0, xs}, sizeof(double)));
+    std::vector<double> cols(n * n * xc);
+    comm.barrier();
+    t0 = comm.proc().now();
+    file.read_at_all(0, std::as_writable_bytes(std::span(cols)));
+    comm.barrier();
+    double coll_read = comm.proc().now() - t0;
+
+    // Verify the transpose: element (z,y,x) must hold z*n*n + y*n + x.
+    bool ok = true;
+    std::size_t k = 0;
+    for (std::uint64_t z = 0; z < n && ok; ++z) {
+      for (std::uint64_t y = 0; y < n && ok; ++y) {
+        for (std::uint64_t x = xs; x < xs + xc && ok; ++x) {
+          ok = cols[k++] == static_cast<double>((z * n + y) * n + x);
+        }
+      }
+    }
+
+    // --- same strided read independently (data sieving) ------------------
+    if (comm.rank() == 0) testbed.fs().drop_caches();  // cold comparison
+    comm.barrier();
+    t0 = comm.proc().now();
+    file.read_at(0, std::as_writable_bytes(std::span(cols)));
+    comm.barrier();
+    double sieve_read = comm.proc().now() - t0;
+
+    // --- and with sieving disabled: one request per row-fragment ---------
+    mpi::io::Hints naive;
+    naive.data_sieving_reads = false;
+    mpi::io::File file2(comm, testbed.fs(), "cube", pfs::OpenMode::kRead,
+                        naive);
+    file2.set_view(0, mpi::Datatype::subarray({n, n, n}, {n, n, xc},
+                                              {0, 0, xs}, sizeof(double)));
+    if (comm.rank() == 0) testbed.fs().drop_caches();  // cold comparison
+    comm.barrier();
+    t0 = comm.proc().now();
+    file2.read_at(0, std::as_writable_bytes(std::span(cols)));
+    comm.barrier();
+    double naive_read = comm.proc().now() - t0;
+
+    if (comm.rank() == 0) {
+      std::printf("64^3 doubles on %s, %d ranks\n", machine.name.c_str(),
+                  nprocs);
+      std::printf("  collective write (z-slabs)        : %8.3f s\n",
+                  write_time);
+      std::printf("  collective read  (x-slabs)        : %8.3f s\n",
+                  coll_read);
+      std::printf("  independent read with sieving     : %8.3f s\n",
+                  sieve_read);
+      std::printf("  independent read, naive           : %8.3f s\n",
+                  naive_read);
+      std::printf("  transpose verified: %s\n", ok ? "OK" : "FAILED");
+      std::printf("\ntwo-phase < sieving << naive is the ROMIO story the "
+                  "paper builds on\n");
+    }
+    file.close();
+    file2.close();
+  });
+  return 0;
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper plus the ablations.
+# Usage: ./run_all_benches.sh [build-dir]
+set -e
+BUILD="${1:-build}"
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  "$b"
+done

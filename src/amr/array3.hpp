@@ -1,0 +1,54 @@
+// Dense 3-D arrays in ENZO's storage order: x varies fastest, z slowest
+// (the paper: "the 3-D array is stored in the file such that x-dimension is
+// the most quickly varying dimension and z-dimension is the most slowly
+// varying dimension").  Indexing is (z, y, x) to match row-major {nz,ny,nx}.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace paramrio::amr {
+
+template <typename T>
+class Array3 {
+ public:
+  Array3() = default;
+  Array3(std::uint64_t nz, std::uint64_t ny, std::uint64_t nx, T fill = T{})
+      : nz_(nz), ny_(ny), nx_(nx), data_(nz * ny * nx, fill) {}
+
+  std::uint64_t nz() const { return nz_; }
+  std::uint64_t ny() const { return ny_; }
+  std::uint64_t nx() const { return nx_; }
+  std::uint64_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(std::uint64_t z, std::uint64_t y, std::uint64_t x) {
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+  const T& at(std::uint64_t z, std::uint64_t y, std::uint64_t x) const {
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<const std::byte> bytes() const {
+    return std::as_bytes(std::span(data_.data(), data_.size()));
+  }
+  std::span<std::byte> mutable_bytes() {
+    return std::as_writable_bytes(std::span(data_.data(), data_.size()));
+  }
+
+  friend bool operator==(const Array3&, const Array3&) = default;
+
+ private:
+  std::uint64_t nz_ = 0, ny_ = 0, nx_ = 0;
+  std::vector<T> data_;
+};
+
+using Array3f = Array3<float>;
+
+}  // namespace paramrio::amr

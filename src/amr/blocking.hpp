@@ -1,0 +1,39 @@
+// Copying (Block,Block,Block) pieces between full arrays and contiguous
+// per-rank buffers — the memory-side half of ENZO's root-grid partitioning.
+#pragma once
+
+#include <algorithm>
+
+#include "amr/array3.hpp"
+#include "amr/decomp.hpp"
+
+namespace paramrio::amr {
+
+/// Copy the block `e` of `full` into the contiguous buffer `dst`
+/// (row-major over the block, x fastest).  dst must hold e.cells() elements.
+template <typename T>
+void copy_block_out(const Array3<T>& full, const BlockExtent& e, T* dst) {
+  std::size_t k = 0;
+  for (std::uint64_t z = e.start[0]; z < e.start[0] + e.count[0]; ++z) {
+    for (std::uint64_t y = e.start[1]; y < e.start[1] + e.count[1]; ++y) {
+      const T* row = &full.at(z, y, e.start[2]);
+      std::copy_n(row, e.count[2], dst + k);
+      k += e.count[2];
+    }
+  }
+}
+
+/// Inverse of copy_block_out.
+template <typename T>
+void copy_block_in(Array3<T>& full, const BlockExtent& e, const T* src) {
+  std::size_t k = 0;
+  for (std::uint64_t z = e.start[0]; z < e.start[0] + e.count[0]; ++z) {
+    for (std::uint64_t y = e.start[1]; y < e.start[1] + e.count[1]; ++y) {
+      T* row = &full.at(z, y, e.start[2]);
+      std::copy_n(src + k, e.count[2], row);
+      k += e.count[2];
+    }
+  }
+}
+
+}  // namespace paramrio::amr

@@ -1,0 +1,57 @@
+#include "amr/decomp.hpp"
+
+#include <algorithm>
+
+namespace paramrio::amr {
+
+std::array<int, 3> make_proc_grid(int nprocs) {
+  PARAMRIO_REQUIRE(nprocs >= 1, "make_proc_grid: nprocs must be >= 1");
+  std::array<int, 3> g{1, 1, 1};
+  int rest = nprocs;
+  // Peel prime factors largest-first onto the currently smallest axis so the
+  // grid stays as cubic as possible.
+  for (int f = 2; rest > 1;) {
+    while (f * f <= rest && rest % f != 0) ++f;
+    int factor = (f * f > rest) ? rest : f;
+    auto it = std::min_element(g.begin(), g.end());
+    *it *= factor;
+    rest /= factor;
+  }
+  // Deterministic order: sort descending so z (slowest dim) gets the most.
+  std::sort(g.begin(), g.end(), std::greater<int>());
+  return g;
+}
+
+std::array<std::uint64_t, 2> block_range(std::uint64_t n, int parts,
+                                         int index) {
+  PARAMRIO_REQUIRE(parts >= 1 && index >= 0 && index < parts,
+                   "block_range: bad partition index");
+  auto up = static_cast<std::uint64_t>(parts);
+  auto ui = static_cast<std::uint64_t>(index);
+  std::uint64_t base = n / up;
+  std::uint64_t rem = n % up;
+  std::uint64_t start = ui * base + std::min(ui, rem);
+  std::uint64_t count = base + (ui < rem ? 1 : 0);
+  return {start, count};
+}
+
+std::array<int, 3> proc_coords(const std::array<int, 3>& grid, int rank) {
+  // Row-major over (z, y, x): x fastest, matching the array layout.
+  int px = grid[2], py = grid[1];
+  return {rank / (px * py), (rank / px) % py, rank % px};
+}
+
+BlockExtent block_of(const std::array<std::uint64_t, 3>& dims,
+                     const std::array<int, 3>& proc_grid, int rank) {
+  auto coords = proc_coords(proc_grid, rank);
+  BlockExtent e;
+  for (int d = 0; d < 3; ++d) {
+    auto ud = static_cast<std::size_t>(d);
+    auto [s, c] = block_range(dims[ud], proc_grid[ud], coords[ud]);
+    e.start[ud] = s;
+    e.count[ud] = c;
+  }
+  return e;
+}
+
+}  // namespace paramrio::amr

@@ -1,0 +1,35 @@
+// Domain decomposition helpers: processor-grid factorisation (an
+// MPI_Dims_create analogue) and (Block,Block,Block) partitioning of cell
+// ranges — ENZO's root-grid parallelisation scheme.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/error.hpp"
+
+namespace paramrio::amr {
+
+/// Factor `nprocs` into a 3-D processor grid (pz, py, px), as balanced as
+/// possible, deterministically.
+std::array<int, 3> make_proc_grid(int nprocs);
+
+/// Block decomposition of `n` cells over `parts`; returns {start, count} of
+/// part `index` (earlier parts take the remainder).
+std::array<std::uint64_t, 2> block_range(std::uint64_t n, int parts,
+                                         int index);
+
+/// A rank's (z, y, x) coordinates in the processor grid.
+std::array<int, 3> proc_coords(const std::array<int, 3>& grid, int rank);
+
+/// This rank's (start, count) cell block of a grid with `dims` (z, y, x).
+struct BlockExtent {
+  std::array<std::uint64_t, 3> start{0, 0, 0};
+  std::array<std::uint64_t, 3> count{0, 0, 0};
+  std::uint64_t cells() const { return count[0] * count[1] * count[2]; }
+};
+
+BlockExtent block_of(const std::array<std::uint64_t, 3>& dims,
+                     const std::array<int, 3>& proc_grid, int rank);
+
+}  // namespace paramrio::amr

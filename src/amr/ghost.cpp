@@ -1,0 +1,115 @@
+#include "amr/ghost.hpp"
+
+namespace paramrio::amr {
+
+void GhostBlock::load_interior(const Array3f& src) {
+  PARAMRIO_REQUIRE(src.nz() == extent_.count[0] &&
+                       src.ny() == extent_.count[1] &&
+                       src.nx() == extent_.count[2],
+                   "GhostBlock: interior shape mismatch");
+  for (std::uint64_t z = 0; z < src.nz(); ++z) {
+    for (std::uint64_t y = 0; y < src.ny(); ++y) {
+      for (std::uint64_t x = 0; x < src.nx(); ++x) {
+        interior(z, y, x) = src.at(z, y, x);
+      }
+    }
+  }
+}
+
+void GhostBlock::store_interior(Array3f& dst) const {
+  PARAMRIO_REQUIRE(dst.nz() == extent_.count[0] &&
+                       dst.ny() == extent_.count[1] &&
+                       dst.nx() == extent_.count[2],
+                   "GhostBlock: interior shape mismatch");
+  for (std::uint64_t z = 0; z < dst.nz(); ++z) {
+    for (std::uint64_t y = 0; y < dst.ny(); ++y) {
+      for (std::uint64_t x = 0; x < dst.nx(); ++x) {
+        dst.at(z, y, x) = interior(z, y, x);
+      }
+    }
+  }
+}
+
+int face_neighbor(const std::array<int, 3>& proc_grid, int rank, int axis,
+                  int dir) {
+  PARAMRIO_REQUIRE(axis >= 0 && axis < 3 && (dir == 1 || dir == -1),
+                   "face_neighbor: bad axis/direction");
+  std::array<int, 3> c = proc_coords(proc_grid, rank);
+  auto ua = static_cast<std::size_t>(axis);
+  c[ua] = (c[ua] + dir + proc_grid[ua]) % proc_grid[ua];
+  return (c[0] * proc_grid[1] + c[1]) * proc_grid[2] + c[2];
+}
+
+namespace {
+
+/// Copy the interior face layer adjacent to boundary `dir` along `axis`
+/// into (or out of) a contiguous buffer.  When `into_ghost` is true the
+/// buffer is written into the ghost layer instead of read from the
+/// interior.
+void face_copy(GhostBlock& block, int axis, int dir, float* buf,
+               bool into_ghost) {
+  const auto& count = block.extent().count;
+  Array3f& a = block.padded();
+  // Padded-space index of the plane we touch.
+  std::uint64_t plane;
+  auto ua = static_cast<std::size_t>(axis);
+  if (into_ghost) {
+    plane = dir < 0 ? 0 : count[ua] + 1;  // ghost layer
+  } else {
+    plane = dir < 0 ? 1 : count[ua];  // interior boundary layer
+  }
+  // The two transverse axes.
+  std::size_t t1 = (ua + 1) % 3, t2 = (ua + 2) % 3;
+  std::size_t k = 0;
+  for (std::uint64_t i = 0; i < count[t1]; ++i) {
+    for (std::uint64_t j = 0; j < count[t2]; ++j) {
+      std::uint64_t idx[3];
+      idx[ua] = plane;
+      idx[t1] = i + 1;
+      idx[t2] = j + 1;
+      float& cell = a.at(idx[0], idx[1], idx[2]);
+      if (into_ghost) {
+        cell = buf[k];
+      } else {
+        buf[k] = cell;
+      }
+      ++k;
+    }
+  }
+}
+
+}  // namespace
+
+void exchange_ghost_zones(mpi::Comm& comm, GhostBlock& block,
+                          const std::array<int, 3>& proc_grid) {
+  const auto& count = block.extent().count;
+  for (int axis = 0; axis < 3; ++axis) {
+    auto ua = static_cast<std::size_t>(axis);
+    std::size_t t1 = (ua + 1) % 3, t2 = (ua + 2) % 3;
+    std::uint64_t face_cells = count[t1] * count[t2];
+    // Two distinct tags per axis so a 2-wide dimension (where both
+    // neighbours are the same rank) cannot cross-match messages.
+    int tag_plus = comm.fresh_collective_tag();
+    int tag_minus = comm.fresh_collective_tag();
+
+    std::vector<float> send_plus(face_cells), send_minus(face_cells);
+    face_copy(block, axis, +1, send_plus.data(), /*into_ghost=*/false);
+    face_copy(block, axis, -1, send_minus.data(), /*into_ghost=*/false);
+
+    int up = face_neighbor(proc_grid, comm.rank(), axis, +1);
+    int down = face_neighbor(proc_grid, comm.rank(), axis, -1);
+    // My +face becomes the -ghost of the +neighbour and vice versa.
+    comm.send_values<float>(up, tag_plus, send_plus);
+    comm.send_values<float>(down, tag_minus, send_minus);
+
+    auto from_down = comm.recv_values<float>(down, tag_plus);
+    auto from_up = comm.recv_values<float>(up, tag_minus);
+    PARAMRIO_REQUIRE(from_down.size() == face_cells &&
+                         from_up.size() == face_cells,
+                     "ghost exchange: face size mismatch");
+    face_copy(block, axis, -1, from_down.data(), /*into_ghost=*/true);
+    face_copy(block, axis, +1, from_up.data(), /*into_ghost=*/true);
+  }
+}
+
+}  // namespace paramrio::amr

@@ -1,0 +1,63 @@
+// Ghost-zone (guard-cell) exchange for the block-partitioned root grid.
+//
+// Real ENZO exchanges boundary zones between neighbouring sub-domains every
+// cycle; while the paper studies file I/O, this traffic is part of the
+// application's communication signature, so the reproduction carries it
+// too.  Each rank's block is padded with one layer of ghost cells per face;
+// exchange_ghost_zones fills them from the six face neighbours under
+// periodic boundary conditions.
+#pragma once
+
+#include <array>
+
+#include "amr/blocking.hpp"
+#include "amr/decomp.hpp"
+#include "mpi/comm.hpp"
+
+namespace paramrio::amr {
+
+/// One rank's field block with ghost padding: interior dims `count` plus one
+/// cell on each side.  Interior indices are [1, count+1) per axis.
+class GhostBlock {
+ public:
+  GhostBlock() = default;
+  explicit GhostBlock(const BlockExtent& extent)
+      : extent_(extent),
+        data_(extent.count[0] + 2, extent.count[1] + 2, extent.count[2] + 2) {}
+
+  /// Interior accessor (0-based interior coordinates).
+  float& interior(std::uint64_t z, std::uint64_t y, std::uint64_t x) {
+    return data_.at(z + 1, y + 1, x + 1);
+  }
+  const float& interior(std::uint64_t z, std::uint64_t y,
+                        std::uint64_t x) const {
+    return data_.at(z + 1, y + 1, x + 1);
+  }
+
+  /// Raw padded array (ghost layers included).
+  Array3f& padded() { return data_; }
+  const Array3f& padded() const { return data_; }
+  const BlockExtent& extent() const { return extent_; }
+
+  /// Copy an unpadded interior field in/out.
+  void load_interior(const Array3f& src);
+  void store_interior(Array3f& dst) const;
+
+ private:
+  BlockExtent extent_;
+  Array3f data_;
+};
+
+/// Rank of the face neighbour along `axis` in direction `dir` (+1/-1),
+/// periodic.
+int face_neighbor(const std::array<int, 3>& proc_grid, int rank, int axis,
+                  int dir);
+
+/// Fill the six ghost faces of `block` from the neighbouring ranks'
+/// interiors (periodic domain).  Collective over the communicator; every
+/// rank must pass its own block of the same global decomposition.
+/// Corner/edge ghosts are not filled (face-neighbour stencils only).
+void exchange_ghost_zones(mpi::Comm& comm, GhostBlock& block,
+                          const std::array<int, 3>& proc_grid);
+
+}  // namespace paramrio::amr

@@ -1,0 +1,113 @@
+// AMR grid descriptors, grids, and particle sets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amr/array3.hpp"
+
+namespace paramrio::amr {
+
+/// The baryon fields every ENZO-style grid carries, in the fixed access
+/// order the application uses for all file I/O (the paper exploits this
+/// fixed order as optimisation metadata).
+inline const std::vector<std::string>& baryon_field_names() {
+  static const std::vector<std::string> names = {
+      "density",    "total_energy", "internal_energy", "velocity_x",
+      "velocity_y", "velocity_z",   "temperature",     "dark_matter",
+  };
+  return names;
+}
+inline constexpr int kNumBaryonFields = 8;
+
+/// Geometry + identity of one grid in the hierarchy.  Edges are in domain
+/// units [0,1); dims are cell counts in (z, y, x) order.
+struct GridDescriptor {
+  std::uint64_t id = 0;
+  int level = 0;
+  std::uint64_t parent = 0;  ///< parent grid id (self for the root)
+  std::array<double, 3> left_edge{0, 0, 0};    // (z, y, x)
+  std::array<double, 3> right_edge{1, 1, 1};
+  std::array<std::uint64_t, 3> dims{0, 0, 0};  // (z, y, x) cells
+  int owner = 0;  ///< rank holding the grid's data
+
+  std::uint64_t cell_count() const { return dims[0] * dims[1] * dims[2]; }
+  double cell_width(int axis) const {
+    return (right_edge[static_cast<std::size_t>(axis)] -
+            left_edge[static_cast<std::size_t>(axis)]) /
+           static_cast<double>(dims[static_cast<std::size_t>(axis)]);
+  }
+  bool contains(double z, double y, double x) const {
+    return z >= left_edge[0] && z < right_edge[0] && y >= left_edge[1] &&
+           y < right_edge[1] && x >= left_edge[2] && x < right_edge[2];
+  }
+  friend bool operator==(const GridDescriptor&,
+                         const GridDescriptor&) = default;
+};
+
+/// Structure-of-arrays particle storage, mirroring ENZO's 1-D particle
+/// datasets: id, positions, velocities, mass, plus two float attributes
+/// (e.g. creation time and metallicity fraction in the real code).
+struct ParticleSet {
+  std::vector<std::int64_t> id;
+  std::array<std::vector<double>, 3> pos;  // (z, y, x)
+  std::array<std::vector<double>, 3> vel;
+  std::vector<double> mass;
+  std::array<std::vector<float>, 2> attr;
+
+  std::size_t size() const { return id.size(); }
+
+  void resize(std::size_t n) {
+    id.resize(n);
+    for (auto& p : pos) p.resize(n);
+    for (auto& v : vel) v.resize(n);
+    mass.resize(n);
+    for (auto& a : attr) a.resize(n);
+  }
+
+  void clear() { resize(0); }
+
+  /// Append particle `i` of `other`.
+  void append_from(const ParticleSet& other, std::size_t i) {
+    id.push_back(other.id[i]);
+    for (int d = 0; d < 3; ++d) {
+      pos[static_cast<std::size_t>(d)].push_back(
+          other.pos[static_cast<std::size_t>(d)][i]);
+      vel[static_cast<std::size_t>(d)].push_back(
+          other.vel[static_cast<std::size_t>(d)][i]);
+    }
+    mass.push_back(other.mass[i]);
+    for (int a = 0; a < 2; ++a) {
+      attr[static_cast<std::size_t>(a)].push_back(
+          other.attr[static_cast<std::size_t>(a)][i]);
+    }
+  }
+
+  /// Bytes per particle across all arrays (the paper's Table 1 accounting).
+  static constexpr std::uint64_t bytes_per_particle() {
+    return 8 + 3 * 8 + 3 * 8 + 8 + 2 * 4;  // 72
+  }
+
+  friend bool operator==(const ParticleSet&, const ParticleSet&) = default;
+};
+
+/// One grid's bulk data: the baryon fields (fixed order) and its particles.
+struct Grid {
+  GridDescriptor desc;
+  std::vector<Array3f> fields;  ///< kNumBaryonFields entries, fixed order
+  ParticleSet particles;
+
+  void allocate_fields() {
+    fields.assign(static_cast<std::size_t>(kNumBaryonFields),
+                  Array3f(desc.dims[0], desc.dims[1], desc.dims[2]));
+  }
+
+  std::uint64_t field_bytes() const {
+    return static_cast<std::uint64_t>(kNumBaryonFields) * desc.cell_count() *
+           sizeof(float);
+  }
+};
+
+}  // namespace paramrio::amr

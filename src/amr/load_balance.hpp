@@ -1,0 +1,22 @@
+// Grid-to-processor assignment (the role of the dynamic load balancing of
+// Lan, Taylor & Bryan that the ENZO runs in the paper used): greedy
+// largest-first placement onto the least-loaded processor.  Deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amr/hierarchy.hpp"
+
+namespace paramrio::amr {
+
+/// Returns owner rank per input index; `weights[i]` is grid i's work (cells).
+std::vector<int> balance_greedy(const std::vector<std::uint64_t>& weights,
+                                int nprocs);
+
+/// Assign owners for every non-root grid in the hierarchy (the root is
+/// block-partitioned, not owned by one rank) and write them into the
+/// descriptors.  Returns per-rank total assigned cells.
+std::vector<std::uint64_t> assign_owners(Hierarchy& hierarchy, int nprocs);
+
+}  // namespace paramrio::amr

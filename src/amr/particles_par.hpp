@@ -1,0 +1,53 @@
+// Parallel particle operations: (de)serialisation, position-based
+// redistribution (ENZO's irregular partition — "1-D particle arrays are
+// partitioned based on which grid sub-domain the particle position falls
+// within"), and the parallel sample sort by particle ID that the paper's
+// optimised MPI-IO write path uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "amr/decomp.hpp"
+#include "amr/grid.hpp"
+#include "mpi/comm.hpp"
+
+namespace paramrio::amr {
+
+/// Serialise the particles at `indices` of `p` into a wire buffer.
+mpi::Bytes pack_particles(const ParticleSet& p,
+                          const std::vector<std::uint32_t>& indices);
+
+/// Serialise all particles.
+mpi::Bytes pack_particles(const ParticleSet& p);
+
+/// Append particles from a wire buffer onto `out`.
+void unpack_particles(std::span<const std::byte> data, ParticleSet& out);
+
+/// Which part of a block decomposition of `n` items owns item `idx`
+/// (the inverse of block_range).
+int block_part_of(std::uint64_t n, int parts, std::uint64_t idx);
+
+/// The rank whose (Block,Block,Block) root-grid block contains `pos`
+/// (domain coordinates, (z, y, x)).
+int rank_of_position(const std::array<double, 3>& pos,
+                     const std::array<std::uint64_t, 3>& root_dims,
+                     const std::array<int, 3>& proc_grid);
+
+/// Exchange particles so each rank ends up with exactly those inside its
+/// root-grid block.  Charges redistribution communication to the fabric.
+ParticleSet redistribute_by_position(
+    mpi::Comm& comm, const ParticleSet& mine,
+    const std::array<std::uint64_t, 3>& root_dims,
+    const std::array<int, 3>& proc_grid);
+
+/// Globally sort by particle ID with a parallel sample sort; afterwards rank
+/// r holds a contiguous run of the global ID order, and runs are in rank
+/// order (ready for block-wise contiguous file writes).
+ParticleSet parallel_sort_by_id(mpi::Comm& comm, const ParticleSet& mine);
+
+/// Comparison-sort the particles of `p` in place by ID (serial; used by the
+/// HDF4 path on processor 0 and as the local phase of the sample sort).
+void local_sort_by_id(ParticleSet& p);
+
+}  // namespace paramrio::amr

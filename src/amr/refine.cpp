@@ -1,0 +1,124 @@
+#include "amr/refine.hpp"
+
+#include <algorithm>
+
+namespace paramrio::amr {
+
+namespace {
+
+/// Shrink `box` to the bounding box of its flagged cells; returns false if
+/// no cell is flagged.
+bool shrink_to_flags(const Array3<std::uint8_t>& flags, CellBox& box) {
+  std::array<std::uint64_t, 3> lo{UINT64_MAX, UINT64_MAX, UINT64_MAX};
+  std::array<std::uint64_t, 3> hi{0, 0, 0};
+  bool any = false;
+  for (std::uint64_t z = box.start[0]; z < box.start[0] + box.count[0]; ++z) {
+    for (std::uint64_t y = box.start[1]; y < box.start[1] + box.count[1];
+         ++y) {
+      for (std::uint64_t x = box.start[2]; x < box.start[2] + box.count[2];
+           ++x) {
+        if (!flags.at(z, y, x)) continue;
+        any = true;
+        lo = {std::min(lo[0], z), std::min(lo[1], y), std::min(lo[2], x)};
+        hi = {std::max(hi[0], z), std::max(hi[1], y), std::max(hi[2], x)};
+      }
+    }
+  }
+  if (!any) return false;
+  for (int d = 0; d < 3; ++d) {
+    auto ud = static_cast<std::size_t>(d);
+    box.start[ud] = lo[ud];
+    box.count[ud] = hi[ud] - lo[ud] + 1;
+  }
+  return true;
+}
+
+std::uint64_t count_flags(const Array3<std::uint8_t>& flags,
+                          const CellBox& box) {
+  std::uint64_t n = 0;
+  for (std::uint64_t z = box.start[0]; z < box.start[0] + box.count[0]; ++z) {
+    for (std::uint64_t y = box.start[1]; y < box.start[1] + box.count[1];
+         ++y) {
+      for (std::uint64_t x = box.start[2]; x < box.start[2] + box.count[2];
+           ++x) {
+        n += flags.at(z, y, x) ? 1 : 0;
+      }
+    }
+  }
+  return n;
+}
+
+void cluster_recursive(const Array3<std::uint8_t>& flags,
+                       const RefineParams& params, CellBox box,
+                       std::vector<CellBox>& out) {
+  if (!shrink_to_flags(flags, box)) return;
+  std::uint64_t flagged = count_flags(flags, box);
+  double fill =
+      static_cast<double>(flagged) / static_cast<double>(box.cells());
+  std::size_t longest = 0;
+  for (std::size_t d = 1; d < 3; ++d) {
+    if (box.count[d] > box.count[longest]) longest = d;
+  }
+  if (fill >= params.min_fill || box.count[longest] < 2 * params.min_box) {
+    out.push_back(box);
+    return;
+  }
+  // Bisect the longest axis at its midpoint.
+  CellBox a = box, b = box;
+  std::uint64_t half = box.count[longest] / 2;
+  a.count[longest] = half;
+  b.start[longest] = box.start[longest] + half;
+  b.count[longest] = box.count[longest] - half;
+  cluster_recursive(flags, params, a, out);
+  cluster_recursive(flags, params, b, out);
+}
+
+}  // namespace
+
+Array3<std::uint8_t> flag_overdense(const Array3f& density,
+                                    double threshold) {
+  Array3<std::uint8_t> flags(density.nz(), density.ny(), density.nx());
+  for (std::uint64_t z = 0; z < density.nz(); ++z) {
+    for (std::uint64_t y = 0; y < density.ny(); ++y) {
+      for (std::uint64_t x = 0; x < density.nx(); ++x) {
+        flags.at(z, y, x) =
+            density.at(z, y, x) > threshold ? std::uint8_t{1} : std::uint8_t{0};
+      }
+    }
+  }
+  return flags;
+}
+
+std::vector<CellBox> cluster_flags(const Array3<std::uint8_t>& flags,
+                                   const RefineParams& params) {
+  std::vector<CellBox> out;
+  CellBox whole;
+  whole.count = {flags.nz(), flags.ny(), flags.nx()};
+  cluster_recursive(flags, params, whole, out);
+  std::sort(out.begin(), out.end(), [](const CellBox& a, const CellBox& b) {
+    return a.start < b.start;
+  });
+  return out;
+}
+
+GridDescriptor make_child(const GridDescriptor& parent,
+                          const std::array<std::uint64_t, 3>& cell_origin,
+                          const CellBox& box, int refine_factor) {
+  GridDescriptor child;
+  child.level = parent.level + 1;
+  child.parent = parent.id;
+  for (int d = 0; d < 3; ++d) {
+    auto ud = static_cast<std::size_t>(d);
+    double w = parent.cell_width(d);
+    std::uint64_t s = cell_origin[ud] + box.start[ud];
+    child.left_edge[ud] =
+        parent.left_edge[ud] + static_cast<double>(s) * w;
+    child.right_edge[ud] =
+        parent.left_edge[ud] + static_cast<double>(s + box.count[ud]) * w;
+    child.dims[ud] =
+        box.count[ud] * static_cast<std::uint64_t>(refine_factor);
+  }
+  return child;
+}
+
+}  // namespace paramrio::amr

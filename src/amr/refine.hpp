@@ -1,0 +1,49 @@
+// Refinement flagging and clustering (a simplified Berger–Rigoutsos):
+// cells whose density exceeds a threshold are flagged, flagged cells are
+// clustered into rectangular boxes by recursive bisection until each box is
+// efficiently filled, and each box becomes a child grid at twice the
+// resolution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "amr/array3.hpp"
+#include "amr/grid.hpp"
+
+namespace paramrio::amr {
+
+struct RefineParams {
+  double threshold = 4.0;    ///< overdensity that triggers refinement
+  double min_fill = 0.55;    ///< stop splitting when flagged/total >= this
+  std::uint64_t min_box = 4; ///< don't split boxes below this many cells/axis
+  int refine_factor = 2;     ///< resolution ratio child : parent
+  int max_level = 1;         ///< deepest level to create below the root
+};
+
+/// A box of parent-grid cells, in local (z, y, x) cell coordinates.
+struct CellBox {
+  std::array<std::uint64_t, 3> start{0, 0, 0};
+  std::array<std::uint64_t, 3> count{0, 0, 0};
+  std::uint64_t cells() const { return count[0] * count[1] * count[2]; }
+  friend bool operator==(const CellBox&, const CellBox&) = default;
+};
+
+/// Flag cells of a density array exceeding the threshold.
+Array3<std::uint8_t> flag_overdense(const Array3f& density, double threshold);
+
+/// Cluster flagged cells into boxes with fill ratio >= params.min_fill
+/// (recursive bisection along the longest axis).  Returns boxes in
+/// deterministic (z, y, x) order; empty if nothing is flagged.
+std::vector<CellBox> cluster_flags(const Array3<std::uint8_t>& flags,
+                                   const RefineParams& params);
+
+/// Turn a box of cells of `parent` (box in parent-local cell coordinates,
+/// offset by `cell_origin` within the parent grid) into a child descriptor
+/// at refine_factor times the resolution.  Owner is left at 0.
+GridDescriptor make_child(const GridDescriptor& parent,
+                          const std::array<std::uint64_t, 3>& cell_origin,
+                          const CellBox& box, int refine_factor);
+
+}  // namespace paramrio::amr

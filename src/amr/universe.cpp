@@ -1,0 +1,144 @@
+#include "amr/universe.hpp"
+
+#include <cmath>
+
+namespace paramrio::amr {
+
+namespace {
+double wrap01(double v) { return v - std::floor(v); }
+
+/// Minimum-image distance on the unit torus.
+double torus_delta(double a, double b) {
+  double d = a - b;
+  d -= std::round(d);
+  return d;
+}
+}  // namespace
+
+Universe::Universe(std::uint64_t seed, int n_clumps) {
+  PARAMRIO_REQUIRE(n_clumps >= 1, "Universe: need at least one clump");
+  Rng rng(seed);
+  clumps_.reserve(static_cast<std::size_t>(n_clumps));
+  for (int i = 0; i < n_clumps; ++i) {
+    Clump c;
+    for (int d = 0; d < 3; ++d) {
+      c.center[static_cast<std::size_t>(d)] = rng.next_double();
+      c.drift[static_cast<std::size_t>(d)] = rng.next_in(-0.05, 0.05);
+    }
+    c.amplitude = rng.next_in(6.0, 14.0);
+    c.growth = rng.next_in(0.2, 0.8);
+    c.width = rng.next_in(0.03, 0.08);
+    clumps_.push_back(c);
+  }
+}
+
+void Universe::sample(double z, double y, double x, double t, double& rho,
+                      std::array<double, 3>& vel) const {
+  rho = 1.0;
+  vel = {0.0, 0.0, 0.0};
+  for (const Clump& c : clumps_) {
+    double cz = wrap01(c.center[0] + c.drift[0] * t);
+    double cy = wrap01(c.center[1] + c.drift[1] * t);
+    double cx = wrap01(c.center[2] + c.drift[2] * t);
+    double dz = torus_delta(z, cz);
+    double dy = torus_delta(y, cy);
+    double dx = torus_delta(x, cx);
+    double r2 = dz * dz + dy * dy + dx * dx;
+    double w = c.amplitude * (1.0 + c.growth * t) *
+               std::exp(-r2 / (2.0 * c.width * c.width));
+    rho += w;
+    vel[0] += w * c.drift[0];
+    vel[1] += w * c.drift[1];
+    vel[2] += w * c.drift[2];
+  }
+  for (double& v : vel) v /= rho;
+}
+
+double Universe::density(double z, double y, double x, double t) const {
+  double rho;
+  std::array<double, 3> vel;
+  sample(z, y, x, t, rho, vel);
+  return rho;
+}
+
+void Universe::fill_fields(Grid& grid, double t) const {
+  if (grid.fields.empty()) grid.allocate_fields();
+  const GridDescriptor& g = grid.desc;
+  const double wz = g.cell_width(0), wy = g.cell_width(1),
+               wx = g.cell_width(2);
+  for (std::uint64_t iz = 0; iz < g.dims[0]; ++iz) {
+    double z = g.left_edge[0] + (static_cast<double>(iz) + 0.5) * wz;
+    for (std::uint64_t iy = 0; iy < g.dims[1]; ++iy) {
+      double y = g.left_edge[1] + (static_cast<double>(iy) + 0.5) * wy;
+      for (std::uint64_t ix = 0; ix < g.dims[2]; ++ix) {
+        double x = g.left_edge[2] + (static_cast<double>(ix) + 0.5) * wx;
+        double rho;
+        std::array<double, 3> vel;
+        sample(z, y, x, t, rho, vel);
+        double v2 =
+            vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2];
+        double internal = 1.0 / rho;  // crude "pressure equilibrium"
+        grid.fields[0].at(iz, iy, ix) = static_cast<float>(rho);
+        grid.fields[1].at(iz, iy, ix) =
+            static_cast<float>(internal + 0.5 * v2);       // total_energy
+        grid.fields[2].at(iz, iy, ix) =
+            static_cast<float>(internal);                  // internal_energy
+        grid.fields[3].at(iz, iy, ix) = static_cast<float>(vel[2]);  // vx
+        grid.fields[4].at(iz, iy, ix) = static_cast<float>(vel[1]);  // vy
+        grid.fields[5].at(iz, iy, ix) = static_cast<float>(vel[0]);  // vz
+        grid.fields[6].at(iz, iy, ix) =
+            static_cast<float>(std::pow(rho, 2.0 / 3.0));  // temperature
+        grid.fields[7].at(iz, iy, ix) =
+            static_cast<float>(5.0 * (rho - 1.0));         // dark_matter
+      }
+    }
+  }
+}
+
+ParticleSet Universe::make_particles(std::uint64_t count,
+                                     std::int64_t id_base,
+                                     const GridDescriptor& region, double t,
+                                     Rng rng) const {
+  ParticleSet p;
+  p.resize(count);
+  // Peak density estimate for rejection sampling.
+  double peak = 1.0;
+  for (const Clump& c : clumps_) {
+    peak += c.amplitude * (1.0 + c.growth * t);
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double z, y, x, rho;
+    std::array<double, 3> vel;
+    for (;;) {
+      z = rng.next_in(region.left_edge[0], region.right_edge[0]);
+      y = rng.next_in(region.left_edge[1], region.right_edge[1]);
+      x = rng.next_in(region.left_edge[2], region.right_edge[2]);
+      sample(z, y, x, t, rho, vel);
+      if (rng.next_double() * peak < rho) break;
+    }
+    p.id[i] = id_base + static_cast<std::int64_t>(i);
+    p.pos[0][i] = z;
+    p.pos[1][i] = y;
+    p.pos[2][i] = x;
+    for (int d = 0; d < 3; ++d) {
+      p.vel[static_cast<std::size_t>(d)][i] =
+          vel[static_cast<std::size_t>(d)] + 0.01 * rng.next_gaussian();
+    }
+    p.mass[i] = rho;
+    p.attr[0][i] = static_cast<float>(t);
+    p.attr[1][i] = static_cast<float>(rng.next_double());
+  }
+  return p;
+}
+
+void Universe::drift_particles(ParticleSet& particles, double dt) {
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      auto ud = static_cast<std::size_t>(d);
+      particles.pos[ud][i] =
+          wrap01(particles.pos[ud][i] + particles.vel[ud][i] * dt);
+    }
+  }
+}
+
+}  // namespace paramrio::amr

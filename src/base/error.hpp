@@ -1,0 +1,58 @@
+// Error types shared across the parAMRIO library.
+//
+// All recoverable failures are reported via exceptions derived from
+// paramrio::Error so that callers can catch one hierarchy.  Precondition
+// violations (programming errors) go through PARAMRIO_REQUIRE, which throws
+// LogicError with the failing expression and location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace paramrio {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition / invariant — a bug in the caller or the library.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// File-system level failure (no such file, bad handle, out-of-range access).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed on-disk structure in one of the scientific file formats.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// The virtual machine simulation cannot make progress (all ranks blocked).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* expr, const char* file,
+                                        int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace paramrio
+
+/// Check a precondition; throws paramrio::LogicError on failure.
+#define PARAMRIO_REQUIRE(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::paramrio::detail::throw_require_failure(#expr, __FILE__, __LINE__, \
+                                                (msg));                     \
+    }                                                                       \
+  } while (false)

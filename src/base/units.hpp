@@ -1,0 +1,21 @@
+// Byte-size and rate units used throughout the cost models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace paramrio {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Megabytes-per-second expressed as bytes-per-second (cost models keep
+/// everything in bytes and seconds).
+constexpr double mb_per_s(double mb) { return mb * 1.0e6; }
+
+/// Milliseconds / microseconds as seconds.
+constexpr double ms(double v) { return v * 1.0e-3; }
+constexpr double us(double v) { return v * 1.0e-6; }
+
+}  // namespace paramrio

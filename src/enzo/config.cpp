@@ -1,0 +1,35 @@
+#include "enzo/config.hpp"
+
+#include "base/error.hpp"
+
+namespace paramrio::enzo {
+
+std::string to_string(ProblemSize s) {
+  switch (s) {
+    case ProblemSize::kAmr64:
+      return "AMR64";
+    case ProblemSize::kAmr128:
+      return "AMR128";
+    case ProblemSize::kAmr256:
+      return "AMR256";
+  }
+  throw LogicError("bad ProblemSize");
+}
+
+SimulationConfig SimulationConfig::for_size(ProblemSize s) {
+  SimulationConfig c;
+  switch (s) {
+    case ProblemSize::kAmr64:
+      c.root_dims = {64, 64, 64};
+      break;
+    case ProblemSize::kAmr128:
+      c.root_dims = {128, 128, 128};
+      break;
+    case ProblemSize::kAmr256:
+      c.root_dims = {256, 256, 256};
+      break;
+  }
+  return c;
+}
+
+}  // namespace paramrio::enzo

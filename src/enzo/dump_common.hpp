@@ -1,0 +1,87 @@
+// Pieces shared by all three I/O backends: dump metadata, the particle
+// dataset schema (ENZO's fixed series of 1-D arrays), and the grid-
+// partitioning bookkeeping used by new-simulation reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amr/grid.hpp"
+#include "amr/hierarchy.hpp"
+#include "enzo/state.hpp"
+#include "mpi/comm.hpp"
+
+namespace paramrio::enzo {
+
+/// Everything a dump stores besides bulk data.
+struct DumpMeta {
+  double time = 0.0;
+  std::uint64_t cycle = 0;
+  std::uint64_t n_particles = 0;
+  amr::Hierarchy hierarchy;
+
+  std::vector<std::byte> serialize() const;
+  static DumpMeta deserialize(std::span<const std::byte> data);
+};
+
+/// The fixed order of particle datasets (the paper: "particle ID, particle
+/// positions, particle velocities, particle mass, and other particle
+/// attributes").
+struct ParticleArraySpec {
+  const char* name;
+  std::uint64_t elem_size;
+};
+inline constexpr ParticleArraySpec kParticleArrays[] = {
+    {"particle_id", 8},         {"particle_position_x", 8},
+    {"particle_position_y", 8}, {"particle_position_z", 8},
+    {"particle_velocity_x", 8}, {"particle_velocity_y", 8},
+    {"particle_velocity_z", 8}, {"particle_mass", 8},
+    {"particle_attr_0", 4},     {"particle_attr_1", 4},
+};
+inline constexpr std::size_t kNumParticleArrays = 10;
+
+/// Copy particle array `idx` (elements [first, first+count)) into `dst`.
+void particle_array_to_bytes(const amr::ParticleSet& p, std::size_t idx,
+                             std::size_t first, std::size_t count,
+                             std::byte* dst);
+
+/// Fill particle array `idx` of `p` (which must already have size >= count)
+/// from raw bytes.
+void particle_array_from_bytes(amr::ParticleSet& p, std::size_t idx,
+                               std::size_t count, const std::byte* src);
+
+/// Bytes of all particle arrays for `n` particles.
+std::uint64_t particle_payload_bytes(std::uint64_t n);
+
+/// Processor grid used to partition grid `g` among up to `nprocs` ranks:
+/// the global processor grid with each axis capped at the grid's cell count
+/// (small subgrids are split over fewer ranks; the rest receive nothing).
+std::array<int, 3> bounded_proc_grid(const amr::GridDescriptor& g,
+                                     int nprocs);
+
+inline int piece_count(const std::array<int, 3>& pg) {
+  return pg[0] * pg[1] * pg[2];
+}
+
+/// Descriptor of rank `rank`'s (Block,Block,Block) piece of grid `g`
+/// (ENZO's new-simulation partitioning of every initial grid); `proc_grid`
+/// must come from bounded_proc_grid and rank < piece_count(proc_grid).
+amr::GridDescriptor piece_descriptor(const amr::GridDescriptor& g,
+                                     const std::array<int, 3>& proc_grid,
+                                     int rank);
+
+/// Rebuild `state`'s hierarchy after a new-simulation read: the root plus
+/// one piece per (stored subgrid, rank); this rank's pieces carry the data
+/// in `my_pieces` (same order as the stored subgrid ids).
+void install_partitioned_hierarchy(mpi::Comm& comm, SimulationState& state,
+                                   const DumpMeta& meta,
+                                   std::vector<amr::Grid> my_pieces);
+
+/// Reconstruct top-grid state after the per-rank block fields and the
+/// position-partitioned particles are in hand.
+void install_topgrid(SimulationState& state, const DumpMeta& meta,
+                     std::vector<amr::Array3f> fields,
+                     amr::ParticleSet particles);
+
+}  // namespace paramrio::enzo

@@ -1,0 +1,143 @@
+#include "enzo/dump_inspect.hpp"
+
+#include <sstream>
+
+#include "hdf4/sd_file.hpp"
+#include "hdf5/h5_file.hpp"
+
+namespace paramrio::enzo {
+
+std::string to_string(DumpFormat f) {
+  switch (f) {
+    case DumpFormat::kUnknown:
+      return "unknown";
+    case DumpFormat::kHdf4:
+      return "hdf4 (one file per grid)";
+    case DumpFormat::kMpiIo:
+      return "mpi-io (single shared file)";
+    case DumpFormat::kHdf5:
+      return "hdf5 (single shared file)";
+  }
+  throw LogicError("bad DumpFormat");
+}
+
+DumpFormat detect_dump_format(pfs::FileSystem& fs, const std::string& base) {
+  if (fs.exists(base + ".enzo")) return DumpFormat::kMpiIo;
+  if (fs.exists(base + ".h5")) return DumpFormat::kHdf5;
+  if (fs.exists(base + ".topgrid")) return DumpFormat::kHdf4;
+  return DumpFormat::kUnknown;
+}
+
+namespace {
+
+std::string grid_file_name(const std::string& base, std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".grid%06llu",
+                static_cast<unsigned long long>(id));
+  return base + buf;
+}
+
+DumpSummary inspect_hdf4(pfs::FileSystem& fs, const std::string& base) {
+  DumpSummary s;
+  s.format = DumpFormat::kHdf4;
+  hdf4::SdFile top = hdf4::SdFile::open(fs, base + ".topgrid");
+  auto blob = top.read_attribute("metadata");
+  s.meta = DumpMeta::deserialize(blob);
+  s.datasets = top.dataset_names().size();
+  s.files = 1;
+  s.total_bytes = fs.store().size(base + ".topgrid");
+  top.close();
+  for (const auto& g : s.meta.hierarchy.grids()) {
+    if (g.level == 0) continue;
+    std::string name = grid_file_name(base, g.id);
+    if (!fs.exists(name)) {
+      throw FormatError("dump " + base + ": missing subgrid file " + name);
+    }
+    hdf4::SdFile sub = hdf4::SdFile::open(fs, name);
+    s.datasets += sub.dataset_names().size();
+    s.files += 1;
+    s.total_bytes += fs.store().size(name);
+    sub.close();
+  }
+  return s;
+}
+
+DumpSummary inspect_mpiio(pfs::FileSystem& fs, const std::string& base) {
+  DumpSummary s;
+  s.format = DumpFormat::kMpiIo;
+  const std::string path = base + ".enzo";
+  int fd = fs.open(path, pfs::OpenMode::kRead);
+  std::vector<std::byte> fixed(16);
+  fs.read_at(fd, 0, fixed);
+  ByteReader r(fixed);
+  if (r.u64() != 0x4F5A4E45504D5244ULL) {
+    fs.close(fd);
+    throw FormatError(path + ": bad dump magic");
+  }
+  std::uint64_t meta_bytes = r.u64();
+  std::vector<std::byte> blob(meta_bytes);
+  fs.read_at(fd, 16, blob);
+  fs.close(fd);
+  s.meta = DumpMeta::deserialize(blob);
+  s.files = 1;
+  s.total_bytes = fs.store().size(path);
+  // Dataset count: fields + particle arrays + per-subgrid fields.
+  s.datasets = amr::kNumBaryonFields + kNumParticleArrays;
+  for (const auto& g : s.meta.hierarchy.grids()) {
+    if (g.level != 0) s.datasets += amr::kNumBaryonFields;
+  }
+  return s;
+}
+
+DumpSummary inspect_hdf5(pfs::FileSystem& fs, const std::string& base) {
+  DumpSummary s;
+  s.format = DumpFormat::kHdf5;
+  hdf5::H5File h = hdf5::H5File::open(fs, base + ".h5");
+  s.meta = DumpMeta::deserialize(h.read_attribute("metadata"));
+  s.datasets = h.dataset_names().size();
+  s.files = 1;
+  s.total_bytes = fs.store().size(base + ".h5");
+  h.close();
+  return s;
+}
+
+}  // namespace
+
+DumpSummary inspect_dump(pfs::FileSystem& fs, const std::string& base) {
+  DumpFormat f = detect_dump_format(fs, base);
+  DumpSummary s;
+  switch (f) {
+    case DumpFormat::kHdf4:
+      s = inspect_hdf4(fs, base);
+      break;
+    case DumpFormat::kMpiIo:
+      s = inspect_mpiio(fs, base);
+      break;
+    case DumpFormat::kHdf5:
+      s = inspect_hdf5(fs, base);
+      break;
+    case DumpFormat::kUnknown:
+      throw IoError("no dump found under base name '" + base + "'");
+  }
+  s.max_level = s.meta.hierarchy.max_level();
+  s.refined_cells =
+      s.meta.hierarchy.total_cells() - s.meta.hierarchy.root().cell_count();
+  return s;
+}
+
+std::string format_summary(const DumpSummary& s, const std::string& base) {
+  std::ostringstream os;
+  const auto& root = s.meta.hierarchy.root();
+  os << "dump '" << base << "': " << to_string(s.format) << "\n";
+  os << "  cycle " << s.meta.cycle << ", t = " << s.meta.time << "\n";
+  os << "  root grid " << root.dims[0] << "x" << root.dims[1] << "x"
+     << root.dims[2] << ", " << s.meta.hierarchy.grid_count() << " grids, "
+     << s.max_level + 1 << " levels, " << s.refined_cells
+     << " refined cells\n";
+  os << "  " << s.meta.n_particles << " particles\n";
+  os << "  " << s.datasets << " datasets in " << s.files << " file(s), "
+     << static_cast<double>(s.total_bytes) / 1.0e6 << " MB\n";
+  return os.str();
+}
+
+}  // namespace paramrio::enzo

@@ -1,0 +1,38 @@
+// Checkpoint-dump inspection: open a dump written by any of the three
+// backends, validate its structure, and summarise its contents (the job a
+// standalone `h5dump`/`hdp`-style tool does for the real formats).
+#pragma once
+
+#include <string>
+
+#include "enzo/dump_common.hpp"
+#include "pfs/filesystem.hpp"
+
+namespace paramrio::enzo {
+
+enum class DumpFormat { kUnknown, kHdf4, kMpiIo, kHdf5 };
+
+std::string to_string(DumpFormat f);
+
+struct DumpSummary {
+  DumpFormat format = DumpFormat::kUnknown;
+  DumpMeta meta;
+  std::uint64_t files = 0;        ///< physical files making up the dump
+  std::uint64_t total_bytes = 0;  ///< bytes across those files
+  std::uint64_t datasets = 0;     ///< named datasets (grid fields, particles)
+  int max_level = 0;
+  std::uint64_t refined_cells = 0;
+};
+
+/// Detect the format of the dump stored under `base` on `fs`.
+DumpFormat detect_dump_format(pfs::FileSystem& fs, const std::string& base);
+
+/// Open and summarise a dump (must be called inside a simulation so the
+/// metadata reads are timed like any other access).  Throws FormatError /
+/// IoError if the dump is missing or malformed.
+DumpSummary inspect_dump(pfs::FileSystem& fs, const std::string& base);
+
+/// Human-readable rendering of a summary.
+std::string format_summary(const DumpSummary& s, const std::string& base);
+
+}  // namespace paramrio::enzo

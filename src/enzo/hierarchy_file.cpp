@@ -1,0 +1,161 @@
+#include "enzo/hierarchy_file.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "base/byte_io.hpp"
+
+namespace paramrio::enzo {
+
+std::string render_hierarchy_text(const amr::Hierarchy& hierarchy,
+                                  double time, std::uint64_t cycle) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# paramrio hierarchy file\n";
+  os << "Time = " << time << "\n";
+  os << "Cycle = " << cycle << "\n";
+  os << "NumberOfGrids = " << hierarchy.grid_count() << "\n\n";
+  for (const amr::GridDescriptor& g : hierarchy.grids()) {
+    os << "Grid = " << g.id << "\n";
+    os << "  Level = " << g.level << "\n";
+    os << "  ParentGrid = " << g.parent << "\n";
+    os << "  Task = " << g.owner << "\n";
+    os << "  GridDimension = " << g.dims[0] << " " << g.dims[1] << " "
+       << g.dims[2] << "\n";
+    os << "  GridLeftEdge = " << g.left_edge[0] << " " << g.left_edge[1]
+       << " " << g.left_edge[2] << "\n";
+    os << "  GridRightEdge = " << g.right_edge[0] << " " << g.right_edge[1]
+       << " " << g.right_edge[2] << "\n";
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Read "Key = values..." lines; returns false at end of input.
+bool next_assignment(std::istringstream& in, std::string& key,
+                     std::string& values) {
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim and skip comments/blank lines.
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw FormatError("hierarchy file: malformed line: " + line);
+    }
+    key = line.substr(first, eq - first);
+    std::size_t kend = key.find_last_not_of(" \t");
+    key = key.substr(0, kend + 1);
+    values = line.substr(eq + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+amr::Hierarchy parse_hierarchy_text(const std::string& text, double* time,
+                                    std::uint64_t* cycle) {
+  std::istringstream in(text);
+  std::string key, values;
+  std::uint64_t expected_grids = 0;
+
+  // Collected grids; first must be the root.
+  std::vector<amr::GridDescriptor> grids;
+  amr::GridDescriptor current;
+  bool have_current = false;
+
+  auto flush = [&] {
+    if (have_current) grids.push_back(current);
+    have_current = false;
+  };
+
+  while (next_assignment(in, key, values)) {
+    std::istringstream vs(values);
+    if (key == "Time") {
+      double t;
+      vs >> t;
+      if (time != nullptr) *time = t;
+    } else if (key == "Cycle") {
+      std::uint64_t c;
+      vs >> c;
+      if (cycle != nullptr) *cycle = c;
+    } else if (key == "NumberOfGrids") {
+      vs >> expected_grids;
+    } else if (key == "Grid") {
+      flush();
+      current = amr::GridDescriptor{};
+      vs >> current.id;
+      have_current = true;
+    } else if (key == "Level") {
+      vs >> current.level;
+    } else if (key == "ParentGrid") {
+      vs >> current.parent;
+    } else if (key == "Task") {
+      vs >> current.owner;
+    } else if (key == "GridDimension") {
+      vs >> current.dims[0] >> current.dims[1] >> current.dims[2];
+    } else if (key == "GridLeftEdge") {
+      vs >> current.left_edge[0] >> current.left_edge[1] >>
+          current.left_edge[2];
+    } else if (key == "GridRightEdge") {
+      vs >> current.right_edge[0] >> current.right_edge[1] >>
+          current.right_edge[2];
+    } else {
+      throw FormatError("hierarchy file: unknown key '" + key + "'");
+    }
+    if (vs.fail()) {
+      throw FormatError("hierarchy file: bad value for '" + key + "'");
+    }
+  }
+  flush();
+  if (grids.empty() || grids.front().level != 0) {
+    throw FormatError("hierarchy file: missing root grid");
+  }
+  if (expected_grids != 0 && grids.size() != expected_grids) {
+    throw FormatError("hierarchy file: NumberOfGrids mismatch");
+  }
+
+  // Rebuild through the Hierarchy API, preserving ids (the same trick the
+  // binary deserialiser uses: Hierarchy assigns ids monotonically, so we
+  // replay them via an id-preserving add).
+  ByteWriter w;  // reuse the binary round-trip to preserve exact ids
+  w.u64(grids.size());
+  w.u64(grids.back().id + 1);
+  for (const auto& g : grids) {
+    w.u64(g.id);
+    w.u32(static_cast<std::uint32_t>(g.level));
+    w.u64(g.parent);
+    for (double e : g.left_edge) w.f64(e);
+    for (double e : g.right_edge) w.f64(e);
+    for (auto d : g.dims) w.u64(d);
+    w.u32(static_cast<std::uint32_t>(g.owner));
+  }
+  auto blob = w.take();
+  return amr::Hierarchy::deserialize(blob);
+}
+
+void write_hierarchy_file(pfs::FileSystem& fs, const std::string& path,
+                          const amr::Hierarchy& hierarchy, double time,
+                          std::uint64_t cycle) {
+  std::string text = render_hierarchy_text(hierarchy, time, cycle);
+  int fd = fs.open(path, pfs::OpenMode::kCreate);
+  fs.write_at(fd, 0, std::as_bytes(std::span(text.data(), text.size())));
+  fs.close(fd);
+}
+
+amr::Hierarchy read_hierarchy_file(pfs::FileSystem& fs,
+                                   const std::string& path, double* time,
+                                   std::uint64_t* cycle) {
+  int fd = fs.open(path, pfs::OpenMode::kRead);
+  std::string text(fs.size(fd), '\0');
+  fs.read_at(fd, 0,
+             std::as_writable_bytes(std::span(text.data(), text.size())));
+  fs.close(fd);
+  return parse_hierarchy_text(text, time, cycle);
+}
+
+}  // namespace paramrio::enzo

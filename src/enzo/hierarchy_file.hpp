@@ -1,0 +1,36 @@
+// ENZO-style human-readable hierarchy files.
+//
+// The real ENZO writes, next to every data dump, a plain-text ".hierarchy"
+// file describing each grid (task, level, edges, dimensions) that tools and
+// humans read without touching the bulk data.  The HDF4 backend writes one
+// alongside its dumps for the same reason; this module renders and parses
+// that format and is also handy for debugging any backend's hierarchy.
+#pragma once
+
+#include <string>
+
+#include "amr/hierarchy.hpp"
+#include "pfs/filesystem.hpp"
+
+namespace paramrio::enzo {
+
+/// Render the hierarchy in the text format (deterministic, id order).
+std::string render_hierarchy_text(const amr::Hierarchy& hierarchy,
+                                  double time, std::uint64_t cycle);
+
+/// Parse a rendered hierarchy back.  Throws FormatError on malformed input.
+/// `time`/`cycle` outputs are optional.
+amr::Hierarchy parse_hierarchy_text(const std::string& text,
+                                    double* time = nullptr,
+                                    std::uint64_t* cycle = nullptr);
+
+/// Write/read the text file on a simulated file system.
+void write_hierarchy_file(pfs::FileSystem& fs, const std::string& path,
+                          const amr::Hierarchy& hierarchy, double time,
+                          std::uint64_t cycle);
+amr::Hierarchy read_hierarchy_file(pfs::FileSystem& fs,
+                                   const std::string& path,
+                                   double* time = nullptr,
+                                   std::uint64_t* cycle = nullptr);
+
+}  // namespace paramrio::enzo

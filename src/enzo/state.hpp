@@ -1,0 +1,47 @@
+// Per-rank simulation state: the rank's (Block,Block,Block) piece of the
+// root grid, the particles whose positions fall inside it, the replicated
+// hierarchy metadata, and the refined subgrids this rank owns.
+#pragma once
+
+#include <vector>
+
+#include "amr/blocking.hpp"
+#include "amr/grid.hpp"
+#include "amr/hierarchy.hpp"
+#include "enzo/config.hpp"
+
+namespace paramrio::enzo {
+
+struct SimulationState {
+  SimulationConfig config;
+  double time = 0.0;
+  std::uint64_t cycle = 0;
+
+  std::array<int, 3> proc_grid{1, 1, 1};
+  amr::BlockExtent my_block;  ///< this rank's root-grid cells
+
+  /// Root-grid baryon fields, local block only, fixed field order.
+  std::vector<amr::Array3f> my_fields;
+
+  /// Particles inside my_block (ENZO's irregular partition).
+  amr::ParticleSet my_particles;
+
+  /// Replicated metadata for every grid; owners in the descriptors.
+  amr::Hierarchy hierarchy;
+
+  /// Full data of the subgrids this rank owns (desc.owner == my rank).
+  std::vector<amr::Grid> my_subgrids;
+
+  void allocate_block_fields() {
+    my_fields.assign(
+        static_cast<std::size_t>(amr::kNumBaryonFields),
+        amr::Array3f(my_block.count[0], my_block.count[1], my_block.count[2]));
+  }
+
+  /// Bytes of one full root-grid field dataset.
+  std::uint64_t topgrid_field_bytes() const {
+    return config.root_cells() * sizeof(float);
+  }
+};
+
+}  // namespace paramrio::enzo

@@ -1,0 +1,204 @@
+#include "hdf4/sd_file.hpp"
+
+namespace paramrio::hdf4 {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x31464453;  // "SDF1"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kKindDataset = 1;
+constexpr std::uint32_t kKindAttribute = 2;
+
+std::vector<std::byte> read_exact(pfs::FileSystem& fs, int fd,
+                                  std::uint64_t off, std::uint64_t n) {
+  std::vector<std::byte> buf(n);
+  fs.read_at(fd, off, buf);
+  return buf;
+}
+}  // namespace
+
+std::uint64_t element_size(NumberType t) {
+  switch (t) {
+    case NumberType::kFloat32:
+    case NumberType::kInt32:
+      return 4;
+    case NumberType::kFloat64:
+    case NumberType::kInt64:
+      return 8;
+  }
+  throw LogicError("bad NumberType");
+}
+
+SdFile SdFile::create(pfs::FileSystem& fs, const std::string& path) {
+  SdFile f;
+  f.fs_ = &fs;
+  f.path_ = path;
+  f.fd_ = fs.open(path, pfs::OpenMode::kCreate);
+  f.writable_ = true;
+  f.open_ = true;
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  auto hdr = w.take();
+  fs.write_at(f.fd_, 0, hdr);
+  f.append_pos_ = hdr.size();
+  return f;
+}
+
+SdFile SdFile::open(pfs::FileSystem& fs, const std::string& path) {
+  SdFile f;
+  f.fs_ = &fs;
+  f.path_ = path;
+  f.fd_ = fs.open(path, pfs::OpenMode::kRead);
+  f.writable_ = false;
+  f.open_ = true;
+  f.scan();
+  return f;
+}
+
+SdFile::~SdFile() {
+  if (open_) fs_->close(fd_);
+}
+
+void SdFile::close() {
+  PARAMRIO_REQUIRE(open_, "SdFile: already closed");
+  fs_->close(fd_);
+  open_ = false;
+}
+
+void SdFile::scan() {
+  std::uint64_t size = fs_->size(fd_);
+  if (size < 8) throw FormatError(path_ + ": too short for an SDF file");
+  {
+    auto hdr = read_exact(*fs_, fd_, 0, 8);
+    ByteReader r(hdr);
+    if (r.u32() != kMagic) throw FormatError(path_ + ": bad SDF magic");
+    if (r.u32() != kVersion) throw FormatError(path_ + ": bad SDF version");
+  }
+  std::uint64_t pos = 8;
+  while (pos < size) {
+    if (pos + 8 > size) throw FormatError(path_ + ": truncated record");
+    auto fixed = read_exact(*fs_, fd_, pos, 8);
+    ByteReader fr(fixed);
+    std::uint32_t kind = fr.u32();
+    std::uint32_t hdrlen = fr.u32();
+    if (pos + 8 + hdrlen > size) {
+      throw FormatError(path_ + ": truncated record header");
+    }
+    auto hdr = read_exact(*fs_, fd_, pos + 8, hdrlen);
+    ByteReader r(hdr);
+    if (kind == kKindDataset) {
+      SdsInfo info;
+      info.name = r.str();
+      info.type = static_cast<NumberType>(r.u8());
+      std::uint32_t ndims = r.u32();
+      info.dims.reserve(ndims);
+      for (std::uint32_t d = 0; d < ndims; ++d) info.dims.push_back(r.u64());
+      info.data_bytes = r.u64();
+      info.data_offset = pos + 8 + hdrlen;
+      index_[info.name] = datasets_.size();
+      datasets_.push_back(info);
+      pos = info.data_offset + info.data_bytes;
+    } else if (kind == kKindAttribute) {
+      std::string name = r.str();
+      std::uint64_t nbytes = r.u64();
+      auto value = read_exact(*fs_, fd_, pos + 8 + hdrlen, nbytes);
+      attributes_[name] = std::move(value);
+      pos += 8 + hdrlen + nbytes;
+    } else {
+      throw FormatError(path_ + ": unknown record kind " +
+                        std::to_string(kind));
+    }
+  }
+  append_pos_ = size;
+}
+
+void SdFile::write_dataset(const std::string& name, NumberType type,
+                           const std::vector<std::uint64_t>& dims,
+                           std::span<const std::byte> data) {
+  PARAMRIO_REQUIRE(open_ && writable_, "SdFile: not open for writing");
+  PARAMRIO_REQUIRE(index_.find(name) == index_.end(),
+                   "SdFile: duplicate dataset " + name);
+  SdsInfo info;
+  info.name = name;
+  info.type = type;
+  info.dims = dims;
+  info.data_bytes = data.size();
+  PARAMRIO_REQUIRE(info.element_count() * element_size(type) == data.size(),
+                   "SdFile: data size does not match dims for " + name);
+
+  ByteWriter hw;
+  hw.str(name);
+  hw.u8(static_cast<std::uint8_t>(type));
+  hw.u32(static_cast<std::uint32_t>(dims.size()));
+  for (auto d : dims) hw.u64(d);
+  hw.u64(data.size());
+  auto hdr = hw.take();
+
+  ByteWriter fw;
+  fw.u32(kKindDataset);
+  fw.u32(static_cast<std::uint32_t>(hdr.size()));
+  fw.bytes(hdr);
+  auto rec = fw.take();
+
+  fs_->write_at(fd_, append_pos_, rec);
+  info.data_offset = append_pos_ + rec.size();
+  fs_->write_at(fd_, info.data_offset, data);
+  append_pos_ = info.data_offset + data.size();
+  index_[name] = datasets_.size();
+  datasets_.push_back(std::move(info));
+}
+
+void SdFile::read_dataset(const std::string& name,
+                          std::span<std::byte> out) const {
+  const SdsInfo& i = info(name);
+  PARAMRIO_REQUIRE(out.size() == i.data_bytes,
+                   "SdFile: buffer size mismatch for " + name);
+  fs_->read_at(fd_, i.data_offset, out);
+}
+
+void SdFile::write_attribute(const std::string& name,
+                             std::span<const std::byte> value) {
+  PARAMRIO_REQUIRE(open_ && writable_, "SdFile: not open for writing");
+  ByteWriter hw;
+  hw.str(name);
+  hw.u64(value.size());
+  auto hdr = hw.take();
+  ByteWriter fw;
+  fw.u32(kKindAttribute);
+  fw.u32(static_cast<std::uint32_t>(hdr.size()));
+  fw.bytes(hdr);
+  fw.bytes(value);
+  auto rec = fw.take();
+  fs_->write_at(fd_, append_pos_, rec);
+  append_pos_ += rec.size();
+  attributes_[name].assign(value.begin(), value.end());
+}
+
+std::vector<std::byte> SdFile::read_attribute(const std::string& name) const {
+  auto it = attributes_.find(name);
+  if (it == attributes_.end()) {
+    throw IoError("SdFile: no attribute " + name + " in " + path_);
+  }
+  return it->second;
+}
+
+bool SdFile::has_dataset(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+const SdsInfo& SdFile::info(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw IoError("SdFile: no dataset " + name + " in " + path_);
+  }
+  return datasets_[it->second];
+}
+
+std::vector<std::string> SdFile::dataset_names() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& d : datasets_) names.push_back(d.name);
+  return names;
+}
+
+}  // namespace paramrio::hdf4

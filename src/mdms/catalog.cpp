@@ -1,0 +1,230 @@
+#include "mdms/catalog.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace paramrio::mdms {
+
+std::string to_string(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kUnknown:
+      return "unknown";
+    case AccessPattern::kRegularBlock:
+      return "regular-block";
+    case AccessPattern::kIrregular:
+      return "irregular";
+    case AccessPattern::kWholeObject:
+      return "whole-object";
+    case AccessPattern::kSequentialAppend:
+      return "sequential-append";
+  }
+  throw LogicError("bad AccessPattern");
+}
+
+void Catalog::register_dataset(DatasetRecord record) {
+  PARAMRIO_REQUIRE(!record.name.empty(), "Catalog: empty dataset name");
+  auto it = records_.find(record.name);
+  if (it == records_.end()) {
+    record.access_order = next_order_++;
+    records_[record.name] = std::move(record);
+  } else {
+    record.access_order = it->second.access_order;
+    // Preserve accumulated statistics on re-registration.
+    record.accesses = it->second.accesses;
+    record.total_bytes = it->second.total_bytes;
+    record.typical_request = it->second.typical_request;
+    record.writer_count = it->second.writer_count;
+    it->second = std::move(record);
+  }
+}
+
+bool Catalog::has(const std::string& name) const {
+  return records_.find(name) != records_.end();
+}
+
+const DatasetRecord& Catalog::lookup(const std::string& name) const {
+  auto it = records_.find(name);
+  if (it == records_.end()) {
+    throw IoError("MDMS catalog: no record for " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const auto& [name, rec] : records_) out.push_back(name);
+  std::sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+    return records_.at(a).access_order < records_.at(b).access_order;
+  });
+  return out;
+}
+
+void Catalog::record_access(const std::string& name, std::uint64_t bytes,
+                            bool is_write, int rank) {
+  auto it = records_.find(name);
+  if (it == records_.end()) {
+    DatasetRecord r;
+    r.name = name;
+    register_dataset(std::move(r));
+    it = records_.find(name);
+  }
+  DatasetRecord& r = it->second;
+  r.accesses += 1;
+  r.total_bytes += bytes;
+  r.typical_request = r.total_bytes / r.accesses;
+  if (is_write) {
+    auto& seen = writers_seen_[name];
+    if (std::find(seen.begin(), seen.end(), rank) == seen.end()) {
+      seen.push_back(rank);
+      r.writer_count = static_cast<std::uint32_t>(seen.size());
+    }
+  }
+}
+
+void Catalog::learn_from_trace(const trace::IoTracer& tracer) {
+  // Group events per file and classify.
+  struct PerFile {
+    std::vector<const trace::IoEvent*> events;
+  };
+  std::map<std::string, PerFile> by_file;
+  for (const trace::IoEvent& e : tracer.events()) {
+    by_file[e.path].events.push_back(&e);
+  }
+  for (auto& [path, pf] : by_file) {
+    std::set<int> ranks;
+    std::set<int> writers;
+    bool all_sequential = true;
+    std::map<int, std::uint64_t> prev_end;
+    for (const trace::IoEvent* e : pf.events) {
+      ranks.insert(e->rank);
+      if (e->is_write) writers.insert(e->rank);
+      auto it = prev_end.find(e->rank);
+      if (it != prev_end.end() && it->second != e->offset) {
+        all_sequential = false;
+      }
+      prev_end[e->rank] = e->offset + e->bytes;
+      record_access(path, e->bytes, e->is_write, e->rank);
+    }
+    DatasetRecord& r = records_[path];
+    if (r.name.empty()) r.name = path;
+    if (ranks.size() <= 1) {
+      r.pattern = all_sequential ? AccessPattern::kSequentialAppend
+                                 : AccessPattern::kWholeObject;
+    } else if (all_sequential) {
+      // Many ranks, each strictly sequential in its own region: block-wise.
+      r.pattern = AccessPattern::kRegularBlock;
+    } else {
+      r.pattern = AccessPattern::kIrregular;
+    }
+  }
+}
+
+void Catalog::save(pfs::FileSystem& fs, const std::string& path) const {
+  ByteWriter w;
+  w.u32(0x534D444D);  // "MDMS"
+  w.u64(records_.size());
+  for (const std::string& name : names()) {
+    const DatasetRecord& r = records_.at(name);
+    w.str(r.name);
+    w.u32(r.array_rank);
+    w.u32(static_cast<std::uint32_t>(r.dims.size()));
+    for (auto d : r.dims) w.u64(d);
+    w.u64(r.element_size);
+    w.u8(static_cast<std::uint8_t>(r.pattern));
+    w.u32(r.access_order);
+    w.u64(r.accesses);
+    w.u64(r.total_bytes);
+    w.u64(r.typical_request);
+    w.u32(r.writer_count);
+  }
+  auto bytes = w.take();
+  int fd = fs.open(path, pfs::OpenMode::kCreate);
+  fs.write_at(fd, 0, bytes);
+  fs.close(fd);
+}
+
+Catalog Catalog::load(pfs::FileSystem& fs, const std::string& path) {
+  int fd = fs.open(path, pfs::OpenMode::kRead);
+  std::vector<std::byte> bytes(fs.size(fd));
+  fs.read_at(fd, 0, bytes);
+  fs.close(fd);
+
+  ByteReader r(bytes);
+  if (r.u32() != 0x534D444D) throw FormatError(path + ": not an MDMS catalog");
+  Catalog c;
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DatasetRecord rec;
+    rec.name = r.str();
+    rec.array_rank = r.u32();
+    std::uint32_t nd = r.u32();
+    for (std::uint32_t d = 0; d < nd; ++d) rec.dims.push_back(r.u64());
+    rec.element_size = r.u64();
+    rec.pattern = static_cast<AccessPattern>(r.u8());
+    rec.access_order = r.u32();
+    rec.accesses = r.u64();
+    rec.total_bytes = r.u64();
+    rec.typical_request = r.u64();
+    rec.writer_count = r.u32();
+    c.next_order_ = std::max(c.next_order_, rec.access_order + 1);
+    c.records_[rec.name] = std::move(rec);
+  }
+  return c;
+}
+
+Advice advise(const DatasetRecord& record, const PlatformTraits& traits) {
+  Advice a;
+  switch (record.pattern) {
+    case AccessPattern::kRegularBlock: {
+      // (Block,...,Block) arrays: collective two-phase unless the platform
+      // punishes shared-file concurrent writes harder than the gather costs.
+      a.use_collective = !traits.shared_file_write_locks;
+      a.rationale = a.use_collective
+                        ? "regular block partition: two-phase collective I/O"
+                        : "regular block partition, but shared-file write "
+                          "locks favour fewer writers: independent I/O with "
+                          "sieving";
+      // Size the collective buffer to a multiple of the stripe so windows
+      // align with servers.
+      a.hints.cb_buffer_size =
+          std::max<std::uint64_t>(4 * traits.stripe_size, 4 * MiB);
+      if (traits.shared_file_write_locks) {
+        a.hints.cb_nodes = std::max(1, traits.io_parallelism / 2);
+      }
+      break;
+    }
+    case AccessPattern::kIrregular: {
+      // Data-dependent placement: sort/redistribute first, then block-wise
+      // contiguous independent access (the paper's particle strategy).
+      a.use_collective = false;
+      a.use_data_sieving = true;
+      a.rationale =
+          "irregular placement: redistribute to block-wise order, then "
+          "contiguous independent I/O";
+      break;
+    }
+    case AccessPattern::kWholeObject:
+    case AccessPattern::kSequentialAppend: {
+      a.use_collective = false;
+      a.use_data_sieving = false;
+      a.rationale = "single-owner sequential access: plain streaming";
+      break;
+    }
+    case AccessPattern::kUnknown: {
+      a.use_collective = false;
+      a.rationale = "no metadata: conservative independent access";
+      break;
+    }
+  }
+  // Stripe recommendation: the paper's closing design point — match the
+  // stripe to the typical request so one request lands on one server.
+  if (record.typical_request > 0) {
+    std::uint64_t s = 16 * KiB;
+    while (s < record.typical_request && s < 4 * MiB) s <<= 1;
+    a.recommended_stripe = s;
+  }
+  return a;
+}
+
+}  // namespace paramrio::mdms

@@ -1,0 +1,115 @@
+// MDMS — a Meta-Data Management System for AMR I/O.
+//
+// The paper's stated future work: "using Meta-Data Management System (MDMS)
+// on AMR applications to develop a powerful I/O system with the help of the
+// collected metadata" (referencing Liao, Shen & Choudhary, HiPC 2000).
+// This module implements that direction: a persistent catalog of per-dataset
+// metadata — rank, dimensions, element size, observed access pattern and
+// request statistics — plus an advisor that turns the catalog plus the
+// target platform's traits into concrete I/O strategy decisions (collective
+// vs independent, collective-buffer size, aggregator count, stripe-size
+// recommendation).
+//
+// The metadata kinds are exactly those the paper identifies as useful:
+// "the rank of arrays, the access pattern (regular and irregular), the
+// access order of arrays".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/byte_io.hpp"
+#include "mpi/io/file.hpp"
+#include "pfs/filesystem.hpp"
+#include "trace/io_tracer.hpp"
+
+namespace paramrio::mdms {
+
+/// The paper's access-pattern taxonomy.
+enum class AccessPattern : std::uint8_t {
+  kUnknown = 0,
+  kRegularBlock = 1,  ///< (Block,...,Block) partitioned n-D array
+  kIrregular = 2,     ///< data-dependent (e.g. particles by position)
+  kWholeObject = 3,   ///< one rank accesses the entire dataset
+  kSequentialAppend = 4,
+};
+
+std::string to_string(AccessPattern p);
+
+/// One dataset's catalog entry.
+struct DatasetRecord {
+  std::string name;
+  std::uint32_t array_rank = 0;
+  std::vector<std::uint64_t> dims;
+  std::uint64_t element_size = 0;
+  AccessPattern pattern = AccessPattern::kUnknown;
+  std::uint32_t access_order = 0;  ///< position in the fixed access sequence
+
+  // Observed statistics (updated by record_access / learn_from_trace).
+  std::uint64_t accesses = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t typical_request = 0;  ///< running mean request size
+  std::uint32_t writer_count = 0;     ///< distinct ranks seen writing
+
+  std::uint64_t total_elements() const {
+    std::uint64_t n = 1;
+    for (auto d : dims) n *= d;
+    return n;
+  }
+};
+
+/// Traits of the target platform the advisor needs (derivable from a
+/// platform::Machine, but kept independent of that module).
+struct PlatformTraits {
+  bool shared_file_write_locks = false;  ///< GPFS-style tokens
+  bool network_bound = false;            ///< compute<->I/O path is scarce
+  std::uint64_t stripe_size = 64 * KiB;
+  int io_parallelism = 8;  ///< disks / I/O nodes
+};
+
+/// The advisor's output: how to access this dataset on this platform.
+struct Advice {
+  bool use_collective = false;
+  bool use_data_sieving = true;
+  mpi::io::Hints hints;
+  std::uint64_t recommended_stripe = 0;  ///< 0 = keep the FS default
+  std::string rationale;
+};
+
+class Catalog {
+ public:
+  /// Register (or replace) a dataset's static metadata.
+  void register_dataset(DatasetRecord record);
+
+  bool has(const std::string& name) const;
+  const DatasetRecord& lookup(const std::string& name) const;
+  std::vector<std::string> names() const;  ///< in access order
+
+  /// Fold one observed request into the record's statistics.
+  void record_access(const std::string& name, std::uint64_t bytes,
+                     bool is_write, int rank);
+
+  /// Mine a whole I/O trace: every traced file becomes/updates a record and
+  /// its pattern is classified from the request stream.
+  void learn_from_trace(const trace::IoTracer& tracer);
+
+  /// Persist the catalog into a file on `fs` / load it back.
+  void save(pfs::FileSystem& fs, const std::string& path) const;
+  static Catalog load(pfs::FileSystem& fs, const std::string& path);
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::string, DatasetRecord> records_;
+  std::map<std::string, std::vector<int>> writers_seen_;
+  std::uint32_t next_order_ = 0;
+};
+
+/// Turn a record plus platform traits into an access strategy — the paper's
+/// "with the help of these metadata, the proper optimal I/O strategies can
+/// be determined".
+Advice advise(const DatasetRecord& record, const PlatformTraits& traits);
+
+}  // namespace paramrio::mdms

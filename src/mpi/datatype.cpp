@@ -1,0 +1,142 @@
+#include "mpi/datatype.hpp"
+
+#include <algorithm>
+
+namespace paramrio::mpi {
+
+Datatype::Datatype(std::vector<Segment> segments, std::uint64_t extent)
+    : segments_(std::move(segments)), extent_(extent) {
+  // Sort, validate non-overlap, coalesce adjacent segments.
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<Segment> merged;
+  for (const Segment& s : segments_) {
+    if (s.length == 0) continue;
+    if (!merged.empty()) {
+      Segment& last = merged.back();
+      PARAMRIO_REQUIRE(last.offset + last.length <= s.offset,
+                       "datatype segments overlap");
+      if (last.offset + last.length == s.offset) {
+        last.length += s.length;
+        continue;
+      }
+    }
+    merged.push_back(s);
+  }
+  segments_ = std::move(merged);
+  cum_.reserve(segments_.size());
+  size_ = 0;
+  for (const Segment& s : segments_) {
+    cum_.push_back(size_);
+    size_ += s.length;
+  }
+  if (!segments_.empty()) {
+    std::uint64_t last_end = segments_.back().offset + segments_.back().length;
+    PARAMRIO_REQUIRE(extent_ >= last_end, "datatype extent too small");
+  }
+  PARAMRIO_REQUIRE(size_ > 0, "datatype has no visible bytes");
+}
+
+Datatype Datatype::contiguous(std::uint64_t count) {
+  return Datatype({Segment{0, count}}, count);
+}
+
+Datatype Datatype::vector(std::uint64_t count, std::uint64_t blocklen,
+                          std::uint64_t stride) {
+  PARAMRIO_REQUIRE(count > 0 && blocklen > 0, "vector: empty type");
+  PARAMRIO_REQUIRE(stride >= blocklen, "vector: stride < blocklen");
+  std::vector<Segment> segs;
+  segs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    segs.push_back(Segment{i * stride, blocklen});
+  }
+  return Datatype(std::move(segs), (count - 1) * stride + blocklen);
+}
+
+Datatype Datatype::indexed(std::vector<Segment> segments,
+                           std::uint64_t extent_override) {
+  std::uint64_t extent = extent_override;
+  if (extent == 0) {
+    for (const Segment& s : segments) {
+      extent = std::max(extent, s.offset + s.length);
+    }
+  }
+  return Datatype(std::move(segments), extent);
+}
+
+Datatype Datatype::subarray(const std::vector<std::uint64_t>& sizes,
+                            const std::vector<std::uint64_t>& subsizes,
+                            const std::vector<std::uint64_t>& starts,
+                            std::uint64_t elem_size) {
+  const std::size_t ndims = sizes.size();
+  PARAMRIO_REQUIRE(ndims >= 1, "subarray: need at least one dimension");
+  PARAMRIO_REQUIRE(subsizes.size() == ndims && starts.size() == ndims,
+                   "subarray: dimension count mismatch");
+  PARAMRIO_REQUIRE(elem_size > 0, "subarray: zero element size");
+  std::uint64_t full = elem_size;
+  for (std::size_t d = 0; d < ndims; ++d) {
+    PARAMRIO_REQUIRE(subsizes[d] > 0, "subarray: empty subsize");
+    PARAMRIO_REQUIRE(starts[d] + subsizes[d] <= sizes[d],
+                     "subarray: out of bounds");
+    full *= sizes[d];
+  }
+
+  // Rows along the last (fastest) dimension are contiguous; enumerate all
+  // combinations of the leading dims.
+  std::uint64_t row_len = subsizes[ndims - 1] * elem_size;
+  std::uint64_t nrows = 1;
+  for (std::size_t d = 0; d + 1 < ndims; ++d) nrows *= subsizes[d];
+
+  // Strides (in bytes) of each dimension in the full array.
+  std::vector<std::uint64_t> stride(ndims);
+  stride[ndims - 1] = elem_size;
+  for (std::size_t d = ndims - 1; d > 0; --d) {
+    stride[d - 1] = stride[d] * sizes[d];
+  }
+
+  std::vector<Segment> segs;
+  segs.reserve(nrows);
+  std::vector<std::uint64_t> idx(ndims, 0);
+  for (std::uint64_t r = 0; r < nrows; ++r) {
+    std::uint64_t off = starts[ndims - 1] * elem_size;
+    for (std::size_t d = 0; d + 1 < ndims; ++d) {
+      off += (starts[d] + idx[d]) * stride[d];
+    }
+    segs.push_back(Segment{off, row_len});
+    // Increment the multi-index over the leading dims (last leading dim
+    // fastest).
+    for (std::size_t d = ndims - 1; d-- > 0;) {
+      if (++idx[d] < subsizes[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return Datatype(std::move(segs), full);
+}
+
+void Datatype::map_stream(std::uint64_t pos, std::uint64_t len,
+                          std::vector<Segment>& out) const {
+  while (len > 0) {
+    std::uint64_t tile = pos / size_;
+    std::uint64_t within = pos % size_;
+    // Find the segment containing stream offset `within`: the last segment
+    // whose cumulative start <= within.
+    auto it = std::upper_bound(cum_.begin(), cum_.end(), within);
+    std::size_t si = static_cast<std::size_t>(it - cum_.begin()) - 1;
+    const Segment& s = segments_[si];
+    std::uint64_t seg_pos = within - cum_[si];
+    std::uint64_t take = std::min(len, s.length - seg_pos);
+    std::uint64_t file_off = tile * extent_ + s.offset + seg_pos;
+    if (!out.empty() &&
+        out.back().offset + out.back().length == file_off) {
+      out.back().length += take;
+    } else {
+      out.push_back(Segment{file_off, take});
+    }
+    pos += take;
+    len -= take;
+  }
+}
+
+}  // namespace paramrio::mpi

@@ -1,0 +1,82 @@
+// MPI-style derived datatypes (file-side layout descriptions).
+//
+// A Datatype describes which bytes of a tile of `extent()` file bytes are
+// visible, as a sorted, coalesced list of (offset, length) segments totalling
+// `size()` bytes.  File views (mpi::io::File::set_view) tile the datatype
+// along the file, exactly like MPI filetypes with an etype of MPI_BYTE.
+//
+// Constructors mirror the MPI type constructors the ENZO I/O port needs:
+// contiguous, vector, indexed, and — the workhorse for (Block,Block,Block)
+// partitioned baryon fields — subarray in C order with the *first* dimension
+// varying slowest (the paper stores 3-D arrays with x fastest, z slowest, so
+// pass sizes = {nz, ny, nx}).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace paramrio::mpi {
+
+/// One visible byte range within a datatype tile.
+struct Segment {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+class Datatype {
+ public:
+  /// `count` visible bytes at offset 0; extent == size.
+  static Datatype contiguous(std::uint64_t count);
+
+  /// `count` blocks of `blocklen` bytes, consecutive blocks `stride` bytes
+  /// apart (stride >= blocklen); extent = (count-1)*stride + blocklen.
+  static Datatype vector(std::uint64_t count, std::uint64_t blocklen,
+                         std::uint64_t stride);
+
+  /// Explicit byte ranges; they must not overlap.  Extent = max(off+len),
+  /// unless `extent_override` > 0.
+  static Datatype indexed(std::vector<Segment> segments,
+                          std::uint64_t extent_override = 0);
+
+  /// An n-dimensional subarray of an n-dimensional array of elements of
+  /// `elem_size` bytes.  Dimension 0 varies slowest (C order).  The extent is
+  /// the full array, so tiling a view with a subarray type addresses exactly
+  /// one array in the file.
+  static Datatype subarray(const std::vector<std::uint64_t>& sizes,
+                           const std::vector<std::uint64_t>& subsizes,
+                           const std::vector<std::uint64_t>& starts,
+                           std::uint64_t elem_size);
+
+  /// Visible bytes per tile.
+  std::uint64_t size() const { return size_; }
+
+  /// Tile footprint in the file.
+  std::uint64_t extent() const { return extent_; }
+
+  bool is_contiguous() const {
+    return segments_.size() == 1 && segments_[0].offset == 0 &&
+           extent_ == size_;
+  }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Map a range [pos, pos+len) of the datatype's visible byte stream
+  /// (tiled indefinitely) to file byte ranges relative to the tile origin of
+  /// tile 0; appends (file_offset, length) pairs in stream order.
+  void map_stream(std::uint64_t pos, std::uint64_t len,
+                  std::vector<Segment>& out) const;
+
+ private:
+  Datatype(std::vector<Segment> segments, std::uint64_t extent);
+
+  std::vector<Segment> segments_;   // sorted by offset, coalesced
+  std::vector<std::uint64_t> cum_;  // cumulative visible bytes before seg i
+  std::uint64_t size_ = 0;
+  std::uint64_t extent_ = 0;
+};
+
+}  // namespace paramrio::mpi

@@ -1,0 +1,255 @@
+#include "mpi/io/file.hpp"
+
+#include <algorithm>
+
+namespace paramrio::mpi::io {
+
+File::File(Comm& comm, pfs::FileSystem& fs, std::string path,
+           pfs::OpenMode mode, Hints hints)
+    : comm_(comm), fs_(fs), path_(std::move(path)), hints_(hints) {
+  if (mode == pfs::OpenMode::kCreate) {
+    // Rank 0 creates/truncates; everyone else attaches read-write after the
+    // creation is globally visible.
+    if (comm_.rank() == 0) fd_ = fs_.open(path_, pfs::OpenMode::kCreate);
+    comm_.barrier();
+    if (comm_.rank() != 0) fd_ = fs_.open(path_, pfs::OpenMode::kReadWrite);
+  } else {
+    fd_ = fs_.open(path_, mode);
+  }
+  open_ = true;
+}
+
+File::~File() {
+  // Collective close must be explicit; a destructor cannot synchronise.
+  // Release the descriptor quietly if the user forgot.
+  if (open_) fs_.close(fd_);
+}
+
+void File::close() {
+  PARAMRIO_REQUIRE(open_, "File::close: already closed");
+  flush();
+  comm_.barrier();
+  fs_.close(fd_);
+  open_ = false;
+}
+
+void File::set_view(std::uint64_t disp, Datatype filetype) {
+  view_disp_ = disp;
+  view_type_ = std::move(filetype);
+}
+
+void File::set_view(std::uint64_t disp) {
+  view_disp_ = disp;
+  view_type_.reset();
+}
+
+std::uint64_t File::size() {
+  flush();
+  return fs_.size(fd_);
+}
+
+void File::flush() {
+  if (wb_runs_.empty()) return;
+  stats_.wb_flushes += 1;
+  for (const auto& [offset, data] : wb_runs_) {
+    fs_.write_at(fd_, offset, data);
+  }
+  wb_runs_.clear();
+  wb_bytes_ = 0;
+}
+
+bool File::wb_absorb(std::uint64_t offset, std::span<const std::byte> data) {
+  if (hints_.wb_buffer_size == 0 || data.empty()) return false;
+  if (data.size() > hints_.wb_buffer_size) return false;
+  if (wb_bytes_ + data.size() > hints_.wb_buffer_size) flush();
+
+  // Overlap with a pending run would need merge logic; flush instead (rare
+  // for the append-style patterns write-behind targets).
+  auto next = wb_runs_.lower_bound(offset);
+  bool overlap = false;
+  if (next != wb_runs_.end() && next->first < offset + data.size()) {
+    overlap = true;
+  }
+  if (next != wb_runs_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size() > offset) overlap = true;
+  }
+  if (overlap) flush();
+
+  // Coalesce with the run that ends exactly at `offset`.
+  auto it = wb_runs_.lower_bound(offset);
+  if (it != wb_runs_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() == offset) {
+      prev->second.insert(prev->second.end(), data.begin(), data.end());
+      comm_.charge_memcpy(data.size());
+      wb_bytes_ += data.size();
+      return true;
+    }
+  }
+  auto& run = wb_runs_[offset];
+  run.assign(data.begin(), data.end());
+  comm_.charge_memcpy(data.size());
+  wb_bytes_ += data.size();
+  return true;
+}
+
+std::vector<Segment> File::map_view(std::uint64_t offset,
+                                    std::uint64_t len) const {
+  std::vector<Segment> segs;
+  if (len == 0) return segs;
+  if (!view_type_) {
+    segs.push_back(Segment{view_disp_ + offset, len});
+    return segs;
+  }
+  view_type_->map_stream(offset, len, segs);
+  for (Segment& s : segs) s.offset += view_disp_;
+  return segs;
+}
+
+void File::read_at(std::uint64_t offset, std::span<std::byte> buf) {
+  if (buf.empty()) return;
+  flush();  // reads must observe this rank's buffered writes
+  stats_.independent_ops += 1;
+  independent_read(map_view(offset, buf.size()), buf);
+}
+
+void File::write_at(std::uint64_t offset, std::span<const std::byte> buf) {
+  if (buf.empty()) return;
+  stats_.independent_ops += 1;
+  auto segs = map_view(offset, buf.size());
+  if (segs.size() == 1 && wb_absorb(segs[0].offset, buf)) {
+    stats_.wb_absorbed += 1;
+    return;
+  }
+  independent_write(segs, buf);
+}
+
+void File::independent_read(const std::vector<Segment>& segs,
+                            std::span<std::byte> buf) {
+  if (segs.size() == 1) {
+    fs_.read_at(fd_, segs[0].offset, buf);
+    return;
+  }
+  if (!hints_.data_sieving_reads) {
+    std::uint64_t pos = 0;
+    for (const Segment& s : segs) {
+      fs_.read_at(fd_, s.offset, buf.subspan(pos, s.length));
+      pos += s.length;
+    }
+    return;
+  }
+  // Data sieving: walk the hull [first, last) in sieve-buffer windows; one
+  // contiguous read per window, then extract the wanted pieces.
+  std::vector<std::byte> sieve(hints_.ds_buffer_size);
+  std::uint64_t hull_lo = segs.front().offset;
+  std::uint64_t hull_hi = segs.back().offset + segs.back().length;
+  std::size_t si = 0;           // current segment
+  std::uint64_t seg_done = 0;   // bytes of segs[si] already delivered
+  std::uint64_t buf_pos = 0;
+  for (std::uint64_t w = hull_lo; w < hull_hi;
+       w += hints_.ds_buffer_size) {
+    std::uint64_t we = std::min(w + hints_.ds_buffer_size, hull_hi);
+    stats_.sieve_windows += 1;
+    std::span<std::byte> win(sieve.data(), we - w);
+    fs_.read_at(fd_, w, win);
+    while (si < segs.size()) {
+      std::uint64_t so = segs[si].offset + seg_done;
+      if (so >= we) break;
+      std::uint64_t take = std::min(segs[si].length - seg_done, we - so);
+      std::copy_n(win.begin() + static_cast<std::ptrdiff_t>(so - w), take,
+                  buf.begin() + static_cast<std::ptrdiff_t>(buf_pos));
+      comm_.charge_memcpy(take);
+      buf_pos += take;
+      seg_done += take;
+      if (seg_done == segs[si].length) {
+        ++si;
+        seg_done = 0;
+      }
+    }
+  }
+  PARAMRIO_REQUIRE(buf_pos == buf.size(), "sieve read did not fill buffer");
+}
+
+void File::independent_write(const std::vector<Segment>& segs,
+                             std::span<const std::byte> buf) {
+  if (segs.size() == 1) {
+    fs_.write_at(fd_, segs[0].offset, buf);
+    return;
+  }
+  if (!hints_.data_sieving_writes) {
+    std::uint64_t pos = 0;
+    for (const Segment& s : segs) {
+      fs_.write_at(fd_, s.offset, buf.subspan(pos, s.length));
+      pos += s.length;
+    }
+    return;
+  }
+  // Write "sieving": assemble runs of segments that fit one sieve buffer and
+  // whose hull is densely used (>= 50%), and write each assembled hull with
+  // a read-modify-write; sparse runs are written per segment.  This mirrors
+  // ROMIO's ind-write data sieving without file locking (the engine already
+  // serialises ranks).
+  std::uint64_t buf_pos = 0;
+  std::size_t i = 0;
+  std::vector<std::byte> sieve;
+  while (i < segs.size()) {
+    // Grow a run [i, j) limited by the sieve buffer.
+    std::size_t j = i + 1;
+    std::uint64_t used = segs[i].length;
+    while (j < segs.size() &&
+           segs[j].offset + segs[j].length - segs[i].offset <=
+               hints_.ds_buffer_size) {
+      used += segs[j].length;
+      ++j;
+    }
+    std::uint64_t hull_lo = segs[i].offset;
+    std::uint64_t hull_hi = segs[j - 1].offset + segs[j - 1].length;
+    std::uint64_t hull = hull_hi - hull_lo;
+    if (j - i > 1 && used * 2 >= hull) {
+      stats_.sieve_windows += 1;
+      sieve.resize(hull);
+      // Read-modify-write: preserve existing bytes in the holes.
+      std::uint64_t fsize = fs_.size(fd_);
+      std::fill(sieve.begin(), sieve.end(), std::byte{0});
+      if (hull_lo < fsize) {
+        std::uint64_t readable = std::min(hull, fsize - hull_lo);
+        fs_.read_at(fd_, hull_lo,
+                    std::span<std::byte>(sieve.data(), readable));
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        std::copy_n(
+            buf.begin() + static_cast<std::ptrdiff_t>(buf_pos),
+            segs[k].length,
+            sieve.begin() +
+                static_cast<std::ptrdiff_t>(segs[k].offset - hull_lo));
+        comm_.charge_memcpy(segs[k].length);
+        buf_pos += segs[k].length;
+      }
+      fs_.write_at(fd_, hull_lo, sieve);
+    } else {
+      for (std::size_t k = i; k < j; ++k) {
+        fs_.write_at(fd_, segs[k].offset,
+                     buf.subspan(buf_pos, segs[k].length));
+        buf_pos += segs[k].length;
+      }
+    }
+    i = j;
+  }
+  PARAMRIO_REQUIRE(buf_pos == buf.size(), "sieve write did not drain buffer");
+}
+
+void File::read_at_all(std::uint64_t offset, std::span<std::byte> buf) {
+  flush();
+  stats_.collective_ops += 1;
+  two_phase(/*is_write=*/false, map_view(offset, buf.size()), buf, {});
+}
+
+void File::write_at_all(std::uint64_t offset,
+                        std::span<const std::byte> buf) {
+  flush();
+  stats_.collective_ops += 1;
+  two_phase(/*is_write=*/true, map_view(offset, buf.size()), {}, buf);
+}
+
+}  // namespace paramrio::mpi::io

@@ -1,0 +1,288 @@
+// Two-phase collective I/O (ROMIO's strategy) for File::read_at_all and
+// File::write_at_all.
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/io/file.hpp"
+
+namespace paramrio::mpi::io {
+
+namespace {
+
+/// A fragment of one rank's request: where it sits in the file and where it
+/// sits in that rank's user buffer.
+struct Piece {
+  std::uint64_t file_off = 0;
+  std::uint64_t len = 0;
+  std::uint64_t buf_off = 0;
+};
+
+std::vector<Piece> to_pieces(const std::vector<Segment>& segs) {
+  std::vector<Piece> pieces;
+  pieces.reserve(segs.size());
+  std::uint64_t pos = 0;
+  for (const Segment& s : segs) {
+    pieces.push_back(Piece{s.offset, s.length, pos});
+    pos += s.length;
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) {
+              return a.file_off < b.file_off;
+            });
+  return pieces;
+}
+
+/// Clip sorted pieces to the file window [lo, hi), in file order.
+std::vector<Piece> clip(const std::vector<Piece>& pieces, std::uint64_t lo,
+                        std::uint64_t hi) {
+  std::vector<Piece> out;
+  // First piece that could overlap: last with file_off < hi, scan from the
+  // first with end > lo.
+  auto it = std::lower_bound(pieces.begin(), pieces.end(), lo,
+                             [](const Piece& p, std::uint64_t v) {
+                               return p.file_off + p.len <= v;
+                             });
+  for (; it != pieces.end() && it->file_off < hi; ++it) {
+    std::uint64_t s = std::max(it->file_off, lo);
+    std::uint64_t e = std::min(it->file_off + it->len, hi);
+    if (s >= e) continue;
+    out.push_back(Piece{s, e - s, it->buf_off + (s - it->file_off)});
+  }
+  return out;
+}
+
+std::uint64_t total_len(const std::vector<Piece>& pieces) {
+  std::uint64_t n = 0;
+  for (const Piece& p : pieces) n += p.len;
+  return n;
+}
+
+Bytes serialize_segments(const std::vector<Segment>& segs) {
+  Bytes b(segs.size() * sizeof(Segment));
+  if (!segs.empty()) std::memcpy(b.data(), segs.data(), b.size());
+  return b;
+}
+
+std::vector<Segment> parse_segments(const Bytes& b) {
+  PARAMRIO_REQUIRE(b.size() % sizeof(Segment) == 0,
+                   "corrupt access-pattern exchange");
+  std::vector<Segment> segs(b.size() / sizeof(Segment));
+  if (!segs.empty()) std::memcpy(segs.data(), b.data(), b.size());
+  return segs;
+}
+
+/// Merge overlapping/adjacent [off, off+len) intervals of sorted pieces.
+std::vector<Segment> union_runs(const std::vector<Piece>& pieces) {
+  std::vector<Segment> runs;
+  for (const Piece& p : pieces) {
+    if (!runs.empty() &&
+        p.file_off <= runs.back().offset + runs.back().length) {
+      std::uint64_t end = std::max(runs.back().offset + runs.back().length,
+                                   p.file_off + p.len);
+      runs.back().length = end - runs.back().offset;
+    } else {
+      runs.push_back(Segment{p.file_off, p.len});
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+void File::two_phase(bool is_write, const std::vector<Segment>& segs,
+                     std::span<std::byte> rbuf,
+                     std::span<const std::byte> wbuf) {
+  const int p = comm_.size();
+
+  // ---- phase 0: exchange flattened access patterns --------------------
+  std::vector<Bytes> raw = comm_.allgatherv(serialize_segments(segs));
+  std::vector<std::vector<Piece>> pieces(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    pieces[static_cast<std::size_t>(r)] =
+        to_pieces(parse_segments(raw[static_cast<std::size_t>(r)]));
+  }
+
+  // Global hull of the aggregate request.
+  std::uint64_t st = UINT64_MAX, end = 0;
+  for (const auto& pl : pieces) {
+    if (pl.empty()) continue;
+    st = std::min(st, pl.front().file_off);
+    end = std::max(end, pl.back().file_off + pl.back().len);
+  }
+  if (end <= st) return;  // nothing to do anywhere (synchronised already)
+
+  // ---- fast path: non-interleaved requests ----------------------------
+  // If per-rank hulls don't interleave, collective buffering buys nothing;
+  // ROMIO falls back to independent access.
+  {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hulls;
+    for (const auto& pl : pieces) {
+      if (pl.empty()) continue;
+      hulls.emplace_back(pl.front().file_off,
+                         pl.back().file_off + pl.back().len);
+    }
+    std::sort(hulls.begin(), hulls.end());
+    bool interleaved = false;
+    for (std::size_t i = 0; i + 1 < hulls.size(); ++i) {
+      if (hulls[i].second > hulls[i + 1].first) {
+        interleaved = true;
+        break;
+      }
+    }
+    if (!interleaved) {
+      if (!segs.empty()) {
+        if (is_write) {
+          independent_write(segs, wbuf);
+        } else {
+          independent_read(segs, rbuf);
+        }
+      }
+      comm_.barrier();
+      return;
+    }
+  }
+
+  // ---- domain assignment ----------------------------------------------
+  int naggr = hints_.cb_nodes == 0 ? p : std::min(hints_.cb_nodes, p);
+  std::uint64_t span = end - st;
+  std::uint64_t share = (span + static_cast<std::uint64_t>(naggr) - 1) /
+                        static_cast<std::uint64_t>(naggr);
+  std::uint64_t ntimes = (share + hints_.cb_buffer_size - 1) /
+                         hints_.cb_buffer_size;
+  const int tag = comm_.fresh_collective_tag();
+
+  const bool i_aggregate = comm_.rank() < naggr;
+  std::uint64_t my_dom_lo = 0, my_dom_hi = 0;
+  if (i_aggregate) {
+    my_dom_lo = st + static_cast<std::uint64_t>(comm_.rank()) * share;
+    my_dom_hi = std::min(end, my_dom_lo + share);
+  }
+
+  const auto& mine = pieces[static_cast<std::size_t>(comm_.rank())];
+  std::vector<std::byte> window(hints_.cb_buffer_size);
+
+  for (std::uint64_t t = 0; t < ntimes; ++t) {
+    // -- aggregator-side window bounds for this iteration
+    std::uint64_t w_lo = 0, w_hi = 0;
+    if (i_aggregate && my_dom_lo < my_dom_hi) {
+      w_lo = my_dom_lo + t * hints_.cb_buffer_size;
+      w_hi = std::min(my_dom_hi, w_lo + hints_.cb_buffer_size);
+    }
+    const bool window_live = w_lo < w_hi;
+
+    if (!is_write) {
+      // ---- READ: aggregator reads its window, distributes pieces -------
+      if (window_live) {
+        std::vector<Piece> wanted;
+        for (int r = 0; r < p; ++r) {
+          auto cl = clip(pieces[static_cast<std::size_t>(r)], w_lo, w_hi);
+          wanted.insert(wanted.end(), cl.begin(), cl.end());
+        }
+        std::sort(wanted.begin(), wanted.end(),
+                  [](const Piece& a, const Piece& b) {
+                    return a.file_off < b.file_off;
+                  });
+        if (!wanted.empty()) {
+          stats_.two_phase_windows += 1;
+          std::uint64_t u_lo = wanted.front().file_off;
+          std::uint64_t u_hi = 0;
+          for (const Piece& q : wanted) {
+            u_hi = std::max(u_hi, q.file_off + q.len);
+          }
+          // One contiguous read spanning all wanted bytes (holes included).
+          fs_.read_at(fd_, u_lo,
+                      std::span<std::byte>(window.data(), u_hi - u_lo));
+          // Pack and ship each rank's share.
+          for (int r = 0; r < p; ++r) {
+            auto cl = clip(pieces[static_cast<std::size_t>(r)], w_lo, w_hi);
+            if (cl.empty()) continue;
+            Bytes out(total_len(cl));
+            std::uint64_t pos = 0;
+            for (const Piece& q : cl) {
+              std::memcpy(out.data() + pos, window.data() + (q.file_off - u_lo),
+                          q.len);
+              pos += q.len;
+            }
+            comm_.charge_memcpy(out.size());
+            comm_.send(r, tag, out);
+          }
+        }
+      }
+      // -- requester side: receive from every aggregator that holds a piece
+      for (int a = 0; a < naggr; ++a) {
+        std::uint64_t d_lo = st + static_cast<std::uint64_t>(a) * share;
+        std::uint64_t d_hi = std::min(end, d_lo + share);
+        if (d_lo >= d_hi) continue;
+        std::uint64_t aw_lo = d_lo + t * hints_.cb_buffer_size;
+        std::uint64_t aw_hi = std::min(d_hi, aw_lo + hints_.cb_buffer_size);
+        if (aw_lo >= aw_hi) continue;
+        auto cl = clip(mine, aw_lo, aw_hi);
+        if (cl.empty()) continue;
+        Bytes in = comm_.recv(a, tag);
+        PARAMRIO_REQUIRE(in.size() == total_len(cl),
+                         "two-phase read: piece size mismatch");
+        std::uint64_t pos = 0;
+        for (const Piece& q : cl) {
+          std::memcpy(rbuf.data() + q.buf_off, in.data() + pos, q.len);
+          pos += q.len;
+        }
+        comm_.charge_memcpy(in.size());
+      }
+    } else {
+      // ---- WRITE: requesters ship pieces, aggregator assembles + writes
+      for (int a = 0; a < naggr; ++a) {
+        std::uint64_t d_lo = st + static_cast<std::uint64_t>(a) * share;
+        std::uint64_t d_hi = std::min(end, d_lo + share);
+        if (d_lo >= d_hi) continue;
+        std::uint64_t aw_lo = d_lo + t * hints_.cb_buffer_size;
+        std::uint64_t aw_hi = std::min(d_hi, aw_lo + hints_.cb_buffer_size);
+        if (aw_lo >= aw_hi) continue;
+        auto cl = clip(mine, aw_lo, aw_hi);
+        if (cl.empty()) continue;
+        Bytes out(total_len(cl));
+        std::uint64_t pos = 0;
+        for (const Piece& q : cl) {
+          std::memcpy(out.data() + pos, wbuf.data() + q.buf_off, q.len);
+          pos += q.len;
+        }
+        comm_.charge_memcpy(out.size());
+        comm_.send(a, tag, out);
+      }
+      if (window_live) {
+        std::vector<Piece> incoming;
+        for (int r = 0; r < p; ++r) {
+          auto cl = clip(pieces[static_cast<std::size_t>(r)], w_lo, w_hi);
+          if (cl.empty()) continue;
+          Bytes in = comm_.recv(r, tag);
+          PARAMRIO_REQUIRE(in.size() == total_len(cl),
+                           "two-phase write: piece size mismatch");
+          std::uint64_t u_base = w_lo;
+          std::uint64_t pos = 0;
+          for (const Piece& q : cl) {
+            std::memcpy(window.data() + (q.file_off - u_base), in.data() + pos,
+                        q.len);
+            pos += q.len;
+          }
+          comm_.charge_memcpy(in.size());
+          incoming.insert(incoming.end(), cl.begin(), cl.end());
+        }
+        if (!incoming.empty()) {
+          stats_.two_phase_windows += 1;
+          std::sort(incoming.begin(), incoming.end(),
+                    [](const Piece& a2, const Piece& b2) {
+                      return a2.file_off < b2.file_off;
+                    });
+          // Write each covered run contiguously; holes are skipped so no
+          // read-modify-write is needed.
+          for (const Segment& run : union_runs(incoming)) {
+            fs_.write_at(fd_, run.offset,
+                         std::span<const std::byte>(
+                             window.data() + (run.offset - w_lo), run.length));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace paramrio::mpi::io

@@ -1,0 +1,75 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace paramrio::net {
+
+Network::Network(NetworkParams params, int nprocs, int extra_nodes)
+    : params_(params) {
+  PARAMRIO_REQUIRE(params_.procs_per_node >= 1, "procs_per_node must be >= 1");
+  PARAMRIO_REQUIRE(nprocs >= 1, "nprocs must be >= 1");
+  PARAMRIO_REQUIRE(extra_nodes >= 0, "extra_nodes must be >= 0");
+  compute_nodes_ =
+      (nprocs + params_.procs_per_node - 1) / params_.procs_per_node;
+  nics_.resize(static_cast<std::size_t>(compute_nodes_ + extra_nodes));
+}
+
+double Network::send(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
+  src.stats().messages_sent += 1;
+  src.stats().bytes_sent += bytes;
+
+  const double b = static_cast<double>(bytes);
+  if (same_node(src.rank(), dst_rank)) {
+    // Same SMP node: a memory copy; no NIC or backplane involvement.
+    src.advance(params_.send_overhead + b / params_.intra_node_bandwidth,
+                sim::TimeCategory::kComm);
+    return src.now() + params_.intra_node_latency;
+  }
+
+  if (params_.nic_contention || params_.backplane_bandwidth > 0.0) {
+    src.advance(params_.send_overhead, sim::TimeCategory::kComm);
+    double done = wire_transfer(src.now(), node_of(src.rank()),
+                                node_of(dst_rank), bytes);
+    src.clock_at_least(done, sim::TimeCategory::kComm);
+    return done + params_.latency;
+  }
+
+  // Contention-free fabric: sender occupied for the transfer only.
+  src.advance(params_.send_overhead + b / params_.bandwidth,
+              sim::TimeCategory::kComm);
+  return src.now() + params_.latency;
+}
+
+void Network::receive(sim::Proc& dst, double arrival, std::uint64_t bytes) {
+  dst.stats().bytes_received += bytes;
+  dst.clock_at_least(arrival, sim::TimeCategory::kComm);
+  double copy = static_cast<double>(bytes) * params_.recv_byte_cost;
+  if (copy > 0.0) dst.advance(copy, sim::TimeCategory::kComm);
+}
+
+double Network::wire_transfer(double start, int src_node, int dst_node,
+                              std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  double link_time = b / params_.bandwidth;
+  double span = link_time;
+
+  double s0 = start;
+  if (params_.backplane_bandwidth > 0.0) {
+    double bp_time = b / params_.backplane_bandwidth;
+    span = std::max(span, bp_time);
+    s0 = std::max(s0, backplane_.next_free());
+  }
+  if (params_.nic_contention && src_node != dst_node) {
+    auto& sn = nics_[static_cast<std::size_t>(src_node)];
+    auto& dn = nics_[static_cast<std::size_t>(dst_node)];
+    s0 = std::max({s0, sn.next_free(), dn.next_free()});
+    sn.acquire(s0, span);
+    dn.acquire(s0, span);
+  }
+  if (params_.backplane_bandwidth > 0.0) {
+    backplane_.acquire(s0, b / params_.backplane_bandwidth);
+  }
+  return s0 + span;
+}
+
+}  // namespace paramrio::net

@@ -1,0 +1,113 @@
+#include "pfs/filesystem.hpp"
+
+namespace paramrio::pfs {
+
+int FileSystem::open(const std::string& path, OpenMode mode) {
+  if (mode == OpenMode::kCreate) {
+    store_.create(path);
+  } else if (!store_.exists(path)) {
+    throw IoError("open(" + path + "): no such file on " + name());
+  }
+  int fd = next_fd_++;
+  open_files_[fd] = OpenFile{path, mode != OpenMode::kRead};
+  if (sim::in_simulation()) {
+    double cost = metadata_cost();
+    if (cost > 0.0) sim::current_proc().advance(cost, sim::TimeCategory::kIo);
+  }
+  return fd;
+}
+
+void FileSystem::close(int fd) {
+  descriptor(fd);  // validates
+  open_files_.erase(fd);
+  if (sim::in_simulation()) {
+    double cost = metadata_cost();
+    if (cost > 0.0) sim::current_proc().advance(cost, sim::TimeCategory::kIo);
+  }
+}
+
+std::uint64_t FileSystem::size(int fd) const {
+  return store_.size(descriptor(fd).path);
+}
+
+void FileSystem::read_at(int fd, std::uint64_t offset,
+                         std::span<std::byte> out) {
+  const OpenFile& f = descriptor(fd);
+  store_.read_at(f.path, offset, out);
+  if (!sim::in_simulation()) return;  // untimed setup access
+  sim::Proc& proc = sim::current_proc();
+  proc.stats().io_bytes_read += out.size();
+  proc.stats().io_requests += 1;
+  if (observer_ != nullptr) {
+    observer_->on_io(proc.now(), proc.rank(), /*is_write=*/false, f.path,
+                     offset, out.size());
+  }
+  if (cache_enabled_ && !out.empty()) {
+    Intervals& iv = cache_[f.path];
+    if (cache_covers(iv, offset, out.size())) {
+      cache_hits_ += out.size();
+      proc.advance(static_cast<double>(out.size()) / cache_bandwidth_,
+                   sim::TimeCategory::kIo);
+      return;
+    }
+    cache_insert(iv, offset, out.size());
+  }
+  charge(proc, f.path, offset, out.size(), /*is_write=*/false);
+}
+
+void FileSystem::write_at(int fd, std::uint64_t offset,
+                          std::span<const std::byte> data) {
+  const OpenFile& f = descriptor(fd);
+  if (!f.writable) throw IoError("write to read-only descriptor: " + f.path);
+  store_.write_at(f.path, offset, data);
+  if (!sim::in_simulation()) return;  // untimed setup access
+  sim::Proc& proc = sim::current_proc();
+  proc.stats().io_bytes_written += data.size();
+  proc.stats().io_requests += 1;
+  if (observer_ != nullptr) {
+    observer_->on_io(proc.now(), proc.rank(), /*is_write=*/true, f.path,
+                     offset, data.size());
+  }
+  if (cache_enabled_ && !data.empty()) {
+    cache_insert(cache_[f.path], offset, data.size());
+  }
+  charge(proc, f.path, offset, data.size(), /*is_write=*/true);
+}
+
+bool FileSystem::cache_covers(const Intervals& iv, std::uint64_t off,
+                              std::uint64_t len) const {
+  auto it = iv.upper_bound(off);
+  if (it == iv.begin()) return false;
+  --it;
+  return it->second >= off + len;
+}
+
+void FileSystem::cache_insert(Intervals& iv, std::uint64_t off,
+                              std::uint64_t len) {
+  std::uint64_t lo = off, hi = off + len;
+  // Merge with any overlapping/adjacent intervals.
+  auto it = iv.upper_bound(lo);
+  if (it != iv.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      it = iv.erase(prev);
+    }
+  }
+  while (it != iv.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    it = iv.erase(it);
+  }
+  iv[lo] = hi;
+}
+
+const FileSystem::OpenFile& FileSystem::descriptor(int fd) const {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    throw IoError("bad file descriptor " + std::to_string(fd));
+  }
+  return it->second;
+}
+
+}  // namespace paramrio::pfs

@@ -1,0 +1,122 @@
+// Abstract file system exposed to the I/O libraries.
+//
+// All file systems store real bytes in a stor::ObjectStore (so contents are
+// verifiable) and differ only in their *timing* models, implemented in the
+// charge() hook: where the bytes physically live, how they are striped, what
+// networks and queues a request crosses.  Every data call charges the
+// calling simulated processor's virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "stor/object_store.hpp"
+
+namespace paramrio::pfs {
+
+/// Observer hook for I/O tracing: receives every data request a FileSystem
+/// serves (see trace::IoTracer for the standard implementation).
+class IoObserver {
+ public:
+  virtual ~IoObserver() = default;
+  virtual void on_io(double time, int rank, bool is_write,
+                     const std::string& path, std::uint64_t offset,
+                     std::uint64_t bytes) = 0;
+};
+
+enum class OpenMode {
+  kRead,       ///< existing file, read-only
+  kCreate,     ///< create or truncate, read-write
+  kReadWrite,  ///< existing file, read-write
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  /// Open a file; returns a descriptor valid across all ranks (execution is
+  /// serialised, so the descriptor table needs no locking).
+  int open(const std::string& path, OpenMode mode);
+  void close(int fd);
+
+  bool exists(const std::string& path) const { return store_.exists(path); }
+  void remove(const std::string& path) { store_.remove(path); }
+
+  std::uint64_t size(int fd) const;
+
+  /// Timed positional read of exactly out.size() bytes.
+  void read_at(int fd, std::uint64_t offset, std::span<std::byte> out);
+
+  /// Timed positional write (extends the file as needed).
+  void write_at(int fd, std::uint64_t offset,
+                std::span<const std::byte> data);
+
+  /// Human-readable model name ("xfs", "gpfs", "pvfs", "local-disk").
+  virtual std::string name() const = 0;
+
+  /// Direct access to stored bytes, for tests and format validators.
+  stor::ObjectStore& store() { return store_; }
+  const stor::ObjectStore& store() const { return store_; }
+
+  /// Metadata operation cost (open/close/create), charged per call.
+  virtual double metadata_cost() const { return 0.0; }
+
+  /// Bytes served from the cache so far (tests/benches).
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+  /// Invalidate all cached pages (simulate a cold restart between phases).
+  virtual void drop_caches() { cache_.clear(); }
+
+  /// Attach (or detach with nullptr) an I/O observer; every subsequent data
+  /// request inside the simulation is reported to it.
+  void attach_observer(IoObserver* observer) { observer_ = observer; }
+
+ protected:
+  FileSystem() = default;
+
+  /// Enable the buffer-cache model: a read whose whole range was read or
+  /// written before is served at `bandwidth` from memory instead of going
+  /// through charge().  Partial overlaps count as misses.  Local file
+  /// systems and GPFS clients cache; 2002 PVFS did not.
+  void enable_cache(double bandwidth) {
+    cache_enabled_ = true;
+    cache_bandwidth_ = bandwidth;
+  }
+
+  /// Charge `proc` for moving `bytes` at `offset` of `path`; advance its
+  /// clock to the operation's completion.
+  virtual void charge(sim::Proc& proc, const std::string& path,
+                      std::uint64_t offset, std::uint64_t bytes,
+                      bool is_write) = 0;
+
+ private:
+  struct OpenFile {
+    std::string path;
+    bool writable = false;
+  };
+  const OpenFile& descriptor(int fd) const;
+
+  /// Merged resident intervals per file (offset -> end).
+  using Intervals = std::map<std::uint64_t, std::uint64_t>;
+  bool cache_covers(const Intervals& iv, std::uint64_t off,
+                    std::uint64_t len) const;
+  void cache_insert(Intervals& iv, std::uint64_t off, std::uint64_t len);
+
+  stor::ObjectStore store_;
+  std::map<int, OpenFile> open_files_;
+  int next_fd_ = 3;  // tradition
+  IoObserver* observer_ = nullptr;
+  bool cache_enabled_ = false;
+  double cache_bandwidth_ = 0.0;
+  std::uint64_t cache_hits_ = 0;
+  std::map<std::string, Intervals> cache_;
+};
+
+}  // namespace paramrio::pfs

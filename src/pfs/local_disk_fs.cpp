@@ -1,0 +1,106 @@
+#include "pfs/local_disk_fs.hpp"
+
+namespace paramrio::pfs {
+
+LocalDiskFs::LocalDiskFs(LocalDiskFsParams params, int nprocs)
+    : params_(params) {
+  PARAMRIO_REQUIRE(nprocs >= 1, "LocalDiskFs needs >= 1 proc");
+  page_cache_.resize(static_cast<std::size_t>(nprocs));
+  disks_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) disks_.emplace_back(params_.disk);
+}
+
+void LocalDiskFs::charge(sim::Proc& proc, const std::string& path,
+                         std::uint64_t offset, std::uint64_t bytes,
+                         bool is_write) {
+  Ownership& own = owners_[path];
+  auto& my_cache = page_cache_[static_cast<std::size_t>(proc.rank())][path];
+  if (is_write) {
+    record_write(own, offset, bytes, proc.rank());
+  } else if (!wholly_owned_by(own, offset, bytes, proc.rank())) {
+    remote_reads_ += 1;
+  } else if (covered(my_cache, offset, bytes)) {
+    // This node already has the pages: served from its own page cache.
+    proc.advance(static_cast<double>(bytes) / params_.cache_bandwidth,
+                 sim::TimeCategory::kIo);
+    return;
+  }
+  insert_range(my_cache, offset, bytes);
+  proc.advance(params_.client_overhead, sim::TimeCategory::kIo);
+  auto& d = disks_[static_cast<std::size_t>(proc.rank())];
+  double done = d.serve(proc.now(), path, offset, bytes, is_write);
+  proc.clock_at_least(done, sim::TimeCategory::kIo);
+}
+
+bool LocalDiskFs::covered(const Ranges& iv, std::uint64_t off,
+                          std::uint64_t len) {
+  auto it = iv.upper_bound(off);
+  if (it == iv.begin()) return false;
+  --it;
+  return it->second >= off + len;
+}
+
+void LocalDiskFs::insert_range(Ranges& iv, std::uint64_t off,
+                               std::uint64_t len) {
+  std::uint64_t lo = off, hi = off + len;
+  auto it = iv.upper_bound(lo);
+  if (it != iv.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      it = iv.erase(prev);
+    }
+  }
+  while (it != iv.end() && it->first <= hi) {
+    hi = std::max(hi, it->second);
+    it = iv.erase(it);
+  }
+  iv[lo] = hi;
+}
+
+bool LocalDiskFs::wholly_owned_by(const Ownership& own, std::uint64_t offset,
+                                  std::uint64_t bytes, int rank) const {
+  std::uint64_t pos = offset;
+  std::uint64_t end = offset + bytes;
+  while (pos < end) {
+    // Find the range containing pos: last range with start <= pos.
+    auto it = own.ranges.upper_bound(pos);
+    if (it == own.ranges.begin()) return false;
+    --it;
+    auto [range_end, owner] = it->second;
+    if (pos >= range_end || owner != rank) return false;
+    pos = range_end;
+  }
+  return true;
+}
+
+void LocalDiskFs::record_write(Ownership& own, std::uint64_t offset,
+                               std::uint64_t bytes, int rank) {
+  if (bytes == 0) return;
+  std::uint64_t end = offset + bytes;
+  // Trim or split any ranges overlapping [offset, end).
+  auto it = own.ranges.upper_bound(offset);
+  if (it != own.ranges.begin()) {
+    auto prev = std::prev(it);
+    auto [prev_end, prev_owner] = prev->second;
+    if (prev_end > offset) {
+      // prev overlaps: keep its head, and if it extends past `end`, its tail.
+      prev->second.first = offset;
+      if (prev_end > end) {
+        own.ranges[end] = {prev_end, prev_owner};
+      }
+    }
+  }
+  it = own.ranges.lower_bound(offset);
+  while (it != own.ranges.end() && it->first < end) {
+    auto [range_end, owner] = it->second;
+    if (range_end > end) {
+      own.ranges[end] = {range_end, owner};
+    }
+    it = own.ranges.erase(it);
+  }
+  own.ranges[offset] = {end, rank};
+}
+
+}  // namespace paramrio::pfs

@@ -1,0 +1,74 @@
+// LocalDiskFs — model of the paper's fourth configuration: the PVFS I/O
+// *interface* backed by each compute node's own local disk.
+//
+// Every rank's requests are served by its own private spindle; no network is
+// crossed on the data path, so aggregate bandwidth scales linearly with the
+// number of processors.  As in the paper, the price is that the "file" is
+// physically scattered: each node only really holds the ranges it wrote.
+// For verifiability the model keeps one coherent logical byte image (the
+// paper notes that integrating the distributed pieces takes extra work; we
+// do not charge for that work).  Reads of ranges a rank did not itself write
+// would be remote in reality; the model charges them to the local disk and
+// `remote_reads()` counts them so tests/benches can assert the access
+// pattern stayed node-local.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "pfs/filesystem.hpp"
+#include "stor/disk.hpp"
+
+namespace paramrio::pfs {
+
+struct LocalDiskFsParams {
+  stor::DiskParams disk{/*seek*/ ms(9), /*bw*/ mb_per_s(22),
+                        /*req overhead*/ ms(0.4)};
+  double client_overhead = us(150);
+  double metadata = ms(0.5);
+  double cache_bandwidth = mb_per_s(160);  ///< page-cache re-read rate
+};
+
+class LocalDiskFs final : public FileSystem {
+ public:
+  LocalDiskFs(LocalDiskFsParams params, int nprocs);
+
+  std::string name() const override { return "local-disk"; }
+  double metadata_cost() const override { return params_.metadata; }
+
+  std::uint64_t remote_reads() const { return remote_reads_; }
+
+  void drop_caches() override {
+    FileSystem::drop_caches();
+    for (auto& per_rank : page_cache_) per_rank.clear();
+  }
+  const stor::IoServer& disk_of(int rank) const {
+    return disks_.at(static_cast<std::size_t>(rank));
+  }
+
+ protected:
+  void charge(sim::Proc& proc, const std::string& path, std::uint64_t offset,
+              std::uint64_t bytes, bool is_write) override;
+
+ private:
+  using Ranges = std::map<std::uint64_t, std::uint64_t>;  // off -> end
+  static bool covered(const Ranges& iv, std::uint64_t off, std::uint64_t len);
+  static void insert_range(Ranges& iv, std::uint64_t off, std::uint64_t len);
+
+  /// Interval map per file recording which rank wrote each byte range.
+  struct Ownership {
+    std::map<std::uint64_t, std::pair<std::uint64_t, int>> ranges;  // off -> (end, rank)
+  };
+  bool wholly_owned_by(const Ownership& own, std::uint64_t offset,
+                       std::uint64_t bytes, int rank) const;
+  void record_write(Ownership& own, std::uint64_t offset, std::uint64_t bytes,
+                    int rank);
+
+  LocalDiskFsParams params_;
+  std::vector<stor::IoServer> disks_;
+  std::map<std::string, Ownership> owners_;
+  std::vector<std::map<std::string, Ranges>> page_cache_;  ///< per rank
+  std::uint64_t remote_reads_ = 0;
+};
+
+}  // namespace paramrio::pfs

@@ -1,0 +1,32 @@
+#include "pfs/local_fs.hpp"
+
+#include <algorithm>
+
+namespace paramrio::pfs {
+
+LocalFs::LocalFs(LocalFsParams params) : params_(params) {
+  PARAMRIO_REQUIRE(params_.n_disks >= 1, "LocalFs needs >= 1 disk");
+  enable_cache(params_.cache_bandwidth);
+  disks_.reserve(static_cast<std::size_t>(params_.n_disks));
+  for (int i = 0; i < params_.n_disks; ++i) disks_.emplace_back(params_.disk);
+}
+
+void LocalFs::charge(sim::Proc& proc, const std::string& path,
+                     std::uint64_t offset, std::uint64_t bytes,
+                     bool is_write) {
+  proc.advance(params_.client_overhead +
+                   static_cast<double>(bytes) / params_.per_client_bandwidth,
+               sim::TimeCategory::kIo);
+  double done = proc.now();
+  for_each_stripe_chunk(
+      offset, bytes, params_.stripe_size, params_.n_disks,
+      [&](const StripeChunk& c) {
+        auto& d = disks_[static_cast<std::size_t>(c.server)];
+        done = std::max(done, d.serve(proc.now(), path, c.server_offset,
+                                      c.length, is_write));
+      },
+      object_first_server(path, params_.n_disks));
+  proc.clock_at_least(done, sim::TimeCategory::kIo);
+}
+
+}  // namespace paramrio::pfs

@@ -1,0 +1,59 @@
+// LocalFs — model of a fast locally-attached file system (XFS on the SGI
+// Origin2000's striped scratch volume).
+//
+// The volume is a round-robin stripe over n_disks spindles reachable at
+// memory-system latency (no network on the data path).  A single sequential
+// stream is bounded by one spindle's rate (the model has no readahead), so
+// concurrent accesses from different processors to disjoint regions scale up
+// to n_disks — exactly the property that lets collective MPI-IO beat
+// processor-0 serial I/O in the paper's Figure 6.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pfs/filesystem.hpp"
+#include "pfs/striping.hpp"
+#include "stor/disk.hpp"
+
+namespace paramrio::pfs {
+
+struct LocalFsParams {
+  int n_disks = 8;
+  std::uint64_t stripe_size = MiB;
+  stor::DiskParams disk{/*seek*/ ms(4), /*bw*/ mb_per_s(55),
+                        /*req overhead*/ ms(0.2)};
+  double client_overhead = us(50);  ///< syscall / buffer-cache cost per call
+
+  /// Single-stream ceiling: one client's request data passes through its
+  /// own syscall/copy path at this rate, regardless of how many spindles
+  /// the stripe spans.  Concurrent clients each have their own path, so
+  /// aggregate bandwidth still scales to n_disks — the property that lets
+  /// parallel MPI-IO beat processor-0 serial I/O on the Origin2000.
+  double per_client_bandwidth = mb_per_s(130);
+  double metadata = ms(0.5);        ///< open/create/close
+  double cache_bandwidth = mb_per_s(300);  ///< page-cache re-read rate
+};
+
+class LocalFs final : public FileSystem {
+ public:
+  explicit LocalFs(LocalFsParams params);
+
+  std::string name() const override { return "xfs"; }
+  double metadata_cost() const override { return params_.metadata; }
+
+  const LocalFsParams& params() const { return params_; }
+  const stor::IoServer& disk(int i) const {
+    return disks_.at(static_cast<std::size_t>(i));
+  }
+
+ protected:
+  void charge(sim::Proc& proc, const std::string& path, std::uint64_t offset,
+              std::uint64_t bytes, bool is_write) override;
+
+ private:
+  LocalFsParams params_;
+  std::vector<stor::IoServer> disks_;
+};
+
+}  // namespace paramrio::pfs

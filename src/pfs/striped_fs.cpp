@@ -1,0 +1,68 @@
+#include "pfs/striped_fs.hpp"
+
+#include <algorithm>
+
+namespace paramrio::pfs {
+
+StripedFs::StripedFs(StripedFsParams params, net::Network& network)
+    : params_(params), network_(network) {
+  PARAMRIO_REQUIRE(params_.n_io_nodes >= 1, "StripedFs needs >= 1 I/O node");
+  if (params_.client_cache_bandwidth > 0.0) {
+    enable_cache(params_.client_cache_bandwidth);
+  }
+  servers_.reserve(static_cast<std::size_t>(params_.n_io_nodes));
+  for (int i = 0; i < params_.n_io_nodes; ++i) {
+    servers_.emplace_back(params_.server_disk);
+  }
+  smp_channels_.resize(static_cast<std::size_t>(network_.compute_nodes()));
+}
+
+std::uint64_t StripedFs::total_server_requests() const {
+  std::uint64_t n = 0;
+  for (const auto& s : servers_) n += s.requests();
+  return n;
+}
+
+void StripedFs::charge(sim::Proc& proc, const std::string& path,
+                       std::uint64_t offset, std::uint64_t bytes,
+                       bool is_write) {
+  proc.advance(params_.client_overhead, sim::TimeCategory::kIo);
+  const int client_node = network_.node_of(proc.rank());
+  const int io_base = network_.compute_nodes();
+
+  // Byte-range write token: one transfer per request whose byte range was
+  // last written by a different client, serialised through the (single)
+  // token manager — GPFS's shared-file concurrent-writer penalty.  A large
+  // contiguous request needs only one transfer, so big well-formed requests
+  // amortise the cost (the paper's "melioration" for larger problems).
+  double req_start = proc.now();
+  if (is_write && params_.write_lock_cost > 0.0) {
+    auto it = last_writer_.find(path);
+    if (it == last_writer_.end() || it->second != proc.rank()) {
+      req_start = token_manager_.acquire(req_start, params_.write_lock_cost);
+      last_writer_[path] = proc.rank();
+    }
+  }
+
+  double done = req_start;
+  for_each_stripe_chunk(
+      offset, bytes, params_.stripe_size, params_.n_io_nodes,
+      [&](const StripeChunk& c) {
+        double t = req_start;
+        if (params_.smp_io_channel) {
+          auto& ch = smp_channels_[static_cast<std::size_t>(client_node)];
+          t = ch.acquire(t, params_.smp_channel_overhead +
+                                static_cast<double>(c.length) /
+                                    params_.smp_channel_bandwidth);
+        }
+        t = network_.wire_transfer(t, client_node, io_base + c.server,
+                                   c.length);
+        auto& srv = servers_[static_cast<std::size_t>(c.server)];
+        done = std::max(done, srv.serve(t, path, c.server_offset, c.length,
+                                        is_write, 0.0));
+      },
+      object_first_server(path, params_.n_io_nodes));
+  proc.clock_at_least(done, sim::TimeCategory::kIo);
+}
+
+}  // namespace paramrio::pfs

@@ -1,0 +1,63 @@
+// Striping arithmetic shared by the striped file-system models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace paramrio::pfs {
+
+/// One stripe-aligned piece of a byte-range request.
+struct StripeChunk {
+  int server = 0;                ///< which disk / I/O node
+  std::uint64_t global_offset = 0;  ///< offset within the logical file
+  std::uint64_t server_offset = 0;  ///< offset within the server's local space
+  std::uint64_t length = 0;
+};
+
+/// Decompose [offset, offset+length) into per-server chunks under round-robin
+/// striping of `stripe_size` across `n_servers`, invoking `fn` per chunk in
+/// ascending file order.  server_offset preserves per-server sequentiality:
+/// consecutive stripes that land on the same server are adjacent in its
+/// local space, so a full-file scan streams on every server.
+/// `first_server` rotates the stripe placement (real parallel file systems
+/// scatter each file's first stripe so small files don't all pile onto
+/// server 0).
+inline void for_each_stripe_chunk(
+    std::uint64_t offset, std::uint64_t length, std::uint64_t stripe_size,
+    int n_servers, const std::function<void(const StripeChunk&)>& fn,
+    int first_server = 0) {
+  PARAMRIO_REQUIRE(stripe_size > 0, "stripe size must be positive");
+  PARAMRIO_REQUIRE(n_servers > 0, "need at least one server");
+  std::uint64_t pos = offset;
+  std::uint64_t end = offset + length;
+  while (pos < end) {
+    std::uint64_t stripe = pos / stripe_size;
+    std::uint64_t within = pos % stripe_size;
+    std::uint64_t take = std::min(stripe_size - within, end - pos);
+    StripeChunk c;
+    c.server = static_cast<int>(
+        (stripe + static_cast<std::uint64_t>(first_server)) %
+        static_cast<std::uint64_t>(n_servers));
+    c.global_offset = pos;
+    c.server_offset =
+        (stripe / static_cast<std::uint64_t>(n_servers)) * stripe_size + within;
+    c.length = take;
+    fn(c);
+    pos += take;
+  }
+}
+
+/// Deterministic starting server for an object (FNV-1a over the name).
+inline int object_first_server(const std::string& name, int n_servers) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(n_servers));
+}
+
+}  // namespace paramrio::pfs

@@ -1,0 +1,64 @@
+// Calibrated descriptions of the paper's four experimental platforms.
+//
+// Parameter values are period-plausible (2002 hardware) and were calibrated
+// so the *qualitative* results of the paper's Figures 6-10 hold: who wins,
+// how gaps move with processor count and problem size.  Absolute seconds are
+// not expected to match the original testbeds (see EXPERIMENTS.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mpi/comm.hpp"
+#include "pfs/local_disk_fs.hpp"
+#include "pfs/local_fs.hpp"
+#include "pfs/striped_fs.hpp"
+
+namespace paramrio::platform {
+
+enum class FsKind { kLocalXfs, kStriped, kLocalDisk };
+
+struct Machine {
+  std::string name;
+  net::NetworkParams net;
+  mpi::CpuParams cpu;
+  FsKind fs_kind = FsKind::kLocalXfs;
+  pfs::LocalFsParams local_fs;
+  pfs::StripedFsParams striped_fs;
+  pfs::LocalDiskFsParams local_disk_fs;
+
+  int extra_fabric_nodes() const {
+    return fs_kind == FsKind::kStriped ? striped_fs.n_io_nodes : 0;
+  }
+};
+
+/// SGI Origin2000 at NCSA: ccNUMA, bristled fat hypercube, XFS scratch.
+Machine origin2000_xfs();
+
+/// IBM SP-2 (Power3 SMP nodes) at SDSC: switch fabric, GPFS with large
+/// fixed stripes and per-node I/O paths.
+Machine sp2_gpfs();
+
+/// Chiba City Linux cluster at ANL: fast Ethernet, PVFS with 8 I/O nodes.
+Machine chiba_pvfs_ethernet();
+
+/// Chiba City using each compute node's local disk via the PVFS interface.
+Machine chiba_local_disk();
+
+/// A ready-to-run bundle: the mini-MPI runtime (whose fabric the file
+/// system may share) plus the machine's file system.
+class Testbed {
+ public:
+  Testbed(const Machine& machine, int nprocs);
+
+  mpi::Runtime& runtime() { return runtime_; }
+  pfs::FileSystem& fs() { return *fs_; }
+  const Machine& machine() const { return machine_; }
+
+ private:
+  Machine machine_;
+  mpi::Runtime runtime_;
+  std::unique_ptr<pfs::FileSystem> fs_;
+};
+
+}  // namespace paramrio::platform

@@ -1,0 +1,197 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace paramrio::sim {
+
+namespace {
+thread_local Proc* t_current_proc = nullptr;
+
+void account(ProcStats& s, TimeCategory cat, double dt) {
+  switch (cat) {
+    case TimeCategory::kCpu:
+      s.cpu_time += dt;
+      break;
+    case TimeCategory::kComm:
+      s.comm_time += dt;
+      break;
+    case TimeCategory::kIo:
+      s.io_time += dt;
+      break;
+  }
+}
+}  // namespace
+
+Proc& current_proc() {
+  PARAMRIO_REQUIRE(t_current_proc != nullptr,
+                   "not inside a simulated processor");
+  return *t_current_proc;
+}
+
+bool in_simulation() { return t_current_proc != nullptr; }
+
+int Proc::nprocs() const { return engine_->nprocs(); }
+
+void Proc::advance(double dt, TimeCategory cat) {
+  PARAMRIO_REQUIRE(dt >= 0.0, "negative time advance");
+  clock_ += dt;
+  account(stats_, cat, dt);
+  engine_->yield_from(rank_);
+}
+
+void Proc::clock_at_least(double t, TimeCategory cat) {
+  if (t <= clock_) return;
+  account(stats_, cat, t - clock_);
+  clock_ = t;
+  engine_->yield_from(rank_);
+}
+
+void Proc::use_resource(Timeline& tl, double service, TimeCategory cat) {
+  PARAMRIO_REQUIRE(service >= 0.0, "negative service time");
+  double done = tl.acquire(clock_, service);
+  account(stats_, cat, done - clock_);
+  clock_ = done;
+  engine_->yield_from(rank_);
+}
+
+void Proc::block() {
+  {
+    std::lock_guard<std::mutex> l(engine_->mu_);
+    engine_->states_[static_cast<std::size_t>(rank_)] =
+        Engine::State::kBlocked;
+  }
+  engine_->yield_from(rank_);
+}
+
+Engine::Result Engine::run(const Options& options,
+                           const std::function<void(Proc&)>& body) {
+  PARAMRIO_REQUIRE(options.nprocs >= 1, "need at least one proc");
+  Engine engine;
+  Rng root(options.seed);
+  engine.procs_.reserve(static_cast<std::size_t>(options.nprocs));
+  for (int r = 0; r < options.nprocs; ++r) {
+    engine.procs_.push_back(Proc(&engine, r, root.next_u64()));
+  }
+  engine.states_.assign(static_cast<std::size_t>(options.nprocs),
+                        State::kRunnable);
+  engine.cvs_.reserve(static_cast<std::size_t>(options.nprocs));
+  for (int r = 0; r < options.nprocs; ++r) {
+    engine.cvs_.push_back(std::make_unique<std::condition_variable>());
+  }
+  engine.current_ = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.nprocs));
+  for (int r = 0; r < options.nprocs; ++r) {
+    threads.emplace_back([&engine, r, &body] { engine.thread_main(r, body); });
+  }
+  for (auto& t : threads) t.join();
+
+  if (engine.first_error_) std::rethrow_exception(engine.first_error_);
+
+  Result result;
+  result.finish_times.reserve(engine.procs_.size());
+  result.stats.reserve(engine.procs_.size());
+  for (const Proc& p : engine.procs_) {
+    result.finish_times.push_back(p.now());
+    result.stats.push_back(p.stats());
+    result.makespan = std::max(result.makespan, p.now());
+  }
+  return result;
+}
+
+void Engine::thread_main(int rank, const std::function<void(Proc&)>& body) {
+  Proc& proc = procs_[static_cast<std::size_t>(rank)];
+  t_current_proc = &proc;
+  // Wait for the baton before touching any shared state.
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    cvs_[static_cast<std::size_t>(rank)]->wait(
+        l, [&] { return current_ == rank || aborted_; });
+  }
+  bool clean = false;
+  try {
+    if (!aborted_) {
+      body(proc);
+      clean = true;
+    }
+  } catch (const Aborted&) {
+    // Another rank failed; just unwind quietly.
+  } catch (...) {
+    std::lock_guard<std::mutex> l(mu_);
+    states_[static_cast<std::size_t>(rank)] = State::kFinished;
+    abort_locked(std::current_exception());
+    t_current_proc = nullptr;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    states_[static_cast<std::size_t>(rank)] = State::kFinished;
+    if (clean && !aborted_) {
+      pass_baton_locked();
+    }
+  }
+  t_current_proc = nullptr;
+}
+
+void Engine::yield_from(int rank) {
+  std::unique_lock<std::mutex> l(mu_);
+  if (aborted_) throw Aborted{};
+  pass_baton_locked();
+  if (current_ != rank) {
+    cvs_[static_cast<std::size_t>(rank)]->wait(
+        l, [&] { return current_ == rank || aborted_; });
+  }
+  if (aborted_) throw Aborted{};
+}
+
+int Engine::pick_next_locked() const {
+  int best = -1;
+  double best_clock = 0.0;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (states_[i] != State::kRunnable) continue;
+    double c = procs_[i].now();
+    if (best < 0 || c < best_clock) {
+      best = static_cast<int>(i);
+      best_clock = c;
+    }
+  }
+  return best;
+}
+
+void Engine::pass_baton_locked() {
+  int next = pick_next_locked();
+  if (next >= 0) {
+    current_ = next;
+    cvs_[static_cast<std::size_t>(next)]->notify_one();
+    return;
+  }
+  // Nobody runnable: either everyone finished (fine) or deadlock.
+  bool all_finished =
+      std::all_of(states_.begin(), states_.end(),
+                  [](State s) { return s == State::kFinished; });
+  if (!all_finished) {
+    int blocked = 0;
+    for (State s : states_) blocked += (s == State::kBlocked) ? 1 : 0;
+    abort_locked(std::make_exception_ptr(DeadlockError(
+        "simulation deadlock: " + std::to_string(blocked) +
+        " proc(s) blocked with no runnable proc")));
+  }
+  current_ = -1;
+}
+
+void Engine::abort_locked(std::exception_ptr e) {
+  if (!first_error_) first_error_ = e;
+  aborted_ = true;
+  for (auto& cv : cvs_) cv->notify_all();
+}
+
+void Engine::signal(int rank) {
+  PARAMRIO_REQUIRE(rank >= 0 && rank < nprocs(), "signal: bad rank");
+  std::lock_guard<std::mutex> l(mu_);
+  if (states_[static_cast<std::size_t>(rank)] == State::kBlocked) {
+    states_[static_cast<std::size_t>(rank)] = State::kRunnable;
+  }
+}
+
+}  // namespace paramrio::sim

@@ -1,0 +1,178 @@
+// Conservative virtual-time discrete-event engine.
+//
+// The reproduction executes the real parallel code paths (message passing,
+// two-phase I/O, file-format encoding) on a simulated parallel machine.  Each
+// simulated processor ("proc") is an OS thread with a *virtual* clock; the
+// engine enforces that at any instant exactly one proc executes user code —
+// always the runnable proc with the smallest (clock, rank) pair.  This gives:
+//
+//   * determinism: runs are bit-reproducible regardless of OS scheduling,
+//   * causal ordering: shared virtual-time resources (disks, NICs) observe
+//     requests in global virtual-time order, so contention modelling with
+//     simple next-free timelines is exact,
+//   * zero data races: all user code is serialised by the baton, so the
+//     layered libraries need no locking of their own.
+//
+// Procs advance their clocks with Proc::advance(); blocking primitives
+// (Proc::block / Engine::signal) underpin message receive.  If every
+// unfinished proc is blocked the engine throws DeadlockError.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+
+namespace paramrio::sim {
+
+/// Where a proc's virtual time went; reported per proc after a run.
+enum class TimeCategory { kCpu, kComm, kIo };
+
+/// Per-proc accounting, readable by benches and tests after Engine::run.
+struct ProcStats {
+  double cpu_time = 0.0;   ///< seconds spent in compute / memory traffic
+  double comm_time = 0.0;  ///< seconds spent in message passing
+  double io_time = 0.0;    ///< seconds spent in file-system requests
+
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t io_bytes_read = 0;
+  std::uint64_t io_bytes_written = 0;
+  std::uint64_t io_requests = 0;
+};
+
+/// A virtual-time FIFO-served resource: a disk, an I/O server, a NIC, a
+/// shared network backplane, an SMP node's I/O channel.  A request issued at
+/// virtual time `now` with service duration `service` completes at
+/// max(now, next_free) + service, and pushes next_free to that completion.
+///
+/// Because the engine serialises execution in virtual-time order, requests
+/// arrive at the timeline already sorted by issue time, so this single
+/// scalar reproduces FIFO queueing delay exactly.
+class Timeline {
+ public:
+  double acquire(double now, double service) {
+    double start = now > next_free_ ? now : next_free_;
+    next_free_ = start + service;
+    return next_free_;
+  }
+
+  double next_free() const { return next_free_; }
+  void reset() { next_free_ = 0.0; }
+
+ private:
+  double next_free_ = 0.0;
+};
+
+class Engine;
+
+/// Handle a simulated processor's code uses to interact with virtual time.
+/// One per rank; obtain the calling thread's via sim::current_proc().
+class Proc {
+ public:
+  int rank() const { return rank_; }
+  int nprocs() const;
+  double now() const { return clock_; }
+
+  /// Spend `dt` seconds of virtual time, attributed to `cat`.
+  void advance(double dt, TimeCategory cat = TimeCategory::kCpu);
+
+  /// Jump the clock forward to at least `t` (message arrival, resource
+  /// completion).  Waiting time is attributed to `cat`.
+  void clock_at_least(double t, TimeCategory cat);
+
+  /// Acquire a FIFO resource for `service` seconds starting now; the clock
+  /// advances to the request's completion time.
+  void use_resource(Timeline& tl, double service, TimeCategory cat);
+
+  /// Mark this proc blocked and yield; returns after some other proc calls
+  /// Engine::signal(rank()).  The caller must re-check its wake condition.
+  void block();
+
+  ProcStats& stats() { return stats_; }
+  const ProcStats& stats() const { return stats_; }
+
+  /// Deterministic per-rank random stream.
+  Rng& rng() { return rng_; }
+
+  Engine& engine() { return *engine_; }
+
+ private:
+  friend class Engine;
+  Proc(Engine* e, int rank, std::uint64_t seed)
+      : engine_(e), rank_(rank), rng_(seed) {}
+
+  Engine* engine_;
+  int rank_;
+  double clock_ = 0.0;
+  ProcStats stats_;
+  Rng rng_;
+};
+
+/// The engine itself.  Construct, then call run() with the per-rank body.
+class Engine {
+ public:
+  struct Options {
+    int nprocs = 1;
+    std::uint64_t seed = 0x5eed5eed5eedULL;  ///< root of all per-rank RNGs
+  };
+
+  struct Result {
+    std::vector<double> finish_times;  ///< per-rank final virtual clock
+    std::vector<ProcStats> stats;      ///< per-rank accounting
+    double makespan = 0.0;             ///< max finish time
+  };
+
+  /// Run `body(proc)` on options.nprocs virtual processors and return the
+  /// per-rank clocks and stats.  Rethrows the first exception a rank threw.
+  static Result run(const Options& options,
+                    const std::function<void(Proc&)>& body);
+
+  /// Make a blocked proc runnable again (idempotent if already runnable).
+  /// Must be called from a proc thread inside the same run.
+  void signal(int rank);
+
+  int nprocs() const { return static_cast<int>(procs_.size()); }
+
+ private:
+  Engine() = default;
+
+  enum class State : std::uint8_t { kRunnable, kBlocked, kFinished };
+
+  // Thrown internally to unwind proc threads when the run is aborted.
+  struct Aborted {};
+
+  void thread_main(int rank, const std::function<void(Proc&)>& body);
+  void yield_from(int rank);
+  void pass_baton_locked();
+  int pick_next_locked() const;
+  void abort_locked(std::exception_ptr e);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<std::condition_variable>> cvs_;  // per proc
+  std::vector<Proc> procs_;
+  std::vector<State> states_;
+  int current_ = 0;
+  bool aborted_ = false;
+  std::exception_ptr first_error_;
+
+  friend class Proc;
+};
+
+/// The Proc of the calling simulated-processor thread.  Throws LogicError if
+/// the caller is not inside Engine::run.
+Proc& current_proc();
+
+/// True when the calling thread is a simulated processor.
+bool in_simulation();
+
+}  // namespace paramrio::sim

@@ -1,0 +1,88 @@
+// Disk and I/O-server cost models.
+//
+// A Disk is characterised by a positioning (seek + rotational) cost and a
+// streaming transfer rate.  An IoServer wraps a Disk with a FIFO request
+// queue (virtual-time Timeline), a fixed per-request software overhead, and
+// sequentiality tracking: a request that does not start where the previous
+// one on this server ended pays the positioning cost.  This is what makes
+// many small strided accesses expensive and large contiguous streams cheap —
+// the central mechanism behind the paper's Figures 6-9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/units.hpp"
+#include "sim/engine.hpp"
+
+namespace paramrio::stor {
+
+struct DiskParams {
+  double seek_time = ms(8);           ///< positioning cost, random access
+  double bandwidth = mb_per_s(30);    ///< streaming rate, bytes/s
+  double request_overhead = ms(0.5);  ///< software/controller cost per request
+
+  /// A short forward skip (within near_window bytes of the previous end of
+  /// the same object) costs only near_seek_time — the head barely moves and
+  /// track buffers/read-ahead absorb most of it.
+  double near_seek_time = ms(1);
+  std::uint64_t near_window = 4 * MiB;
+};
+
+/// One I/O server (an I/O node's disk path, or one spindle of a striped
+/// volume).  All methods are virtual-time bookkeeping; bytes live elsewhere.
+class IoServer {
+ public:
+  explicit IoServer(DiskParams params) : params_(params) {}
+
+  /// Cost of a request of `bytes` at (`object`,`offset`) issued at `start`;
+  /// returns completion time and updates the queue and head position.
+  /// Writes are buffered (write-behind): a non-sequential write pays at most
+  /// the near-seek cost, because the server coalesces and destages lazily.
+  /// `extra_service` lets the file system add protocol costs (e.g. GPFS
+  /// token/lock transfers) into the same FIFO.
+  double serve(double start, const std::string& object, std::uint64_t offset,
+               std::uint64_t bytes, bool is_write = false,
+               double extra_service = 0.0) {
+    double service = params_.request_overhead + extra_service +
+                     static_cast<double>(bytes) / params_.bandwidth;
+    if (object == last_object_ && offset == last_end_) {
+      // Sequential continuation: free.
+    } else if (is_write) {
+      service += params_.near_seek_time;
+    } else if (object == last_object_ && offset >= last_end_ &&
+               offset - last_end_ <= params_.near_window) {
+      service += params_.near_seek_time;
+    } else {
+      service += params_.seek_time;
+    }
+    last_object_ = object;
+    last_end_ = offset + bytes;
+    requests_ += 1;
+    bytes_moved_ += bytes;
+    return busy_.acquire(start, service);
+  }
+
+  double next_free() const { return busy_.next_free(); }
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  const DiskParams& params() const { return params_; }
+
+  void reset() {
+    busy_.reset();
+    last_object_.clear();
+    last_end_ = 0;
+    requests_ = 0;
+    bytes_moved_ = 0;
+  }
+
+ private:
+  DiskParams params_;
+  sim::Timeline busy_;
+  std::string last_object_;
+  std::uint64_t last_end_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+}  // namespace paramrio::stor

@@ -1,0 +1,69 @@
+#include "stor/tape.hpp"
+
+#include <algorithm>
+
+namespace paramrio::stor {
+
+bool TapeArchive::holds(const std::string& file) const {
+  return std::find(contents_.begin(), contents_.end(), file) !=
+         contents_.end();
+}
+
+double TapeArchive::migrate(pfs::FileSystem& fs,
+                            const std::vector<std::string>& files) {
+  for (const std::string& f : files) {
+    PARAMRIO_REQUIRE(fs.exists(f), "tape migrate: no such file " + f);
+    PARAMRIO_REQUIRE(!holds(f), "tape migrate: already archived " + f);
+  }
+  double t = transfer(fs, files, /*to_tape=*/true);
+  for (const std::string& f : files) {
+    contents_.push_back(f);
+    archived_bytes_ += fs.store().size(f);
+  }
+  return t;
+}
+
+double TapeArchive::retrieve(pfs::FileSystem& fs,
+                             const std::vector<std::string>& files) {
+  for (const std::string& f : files) {
+    if (!holds(f)) throw IoError("tape retrieve: not archived: " + f);
+  }
+  return transfer(fs, files, /*to_tape=*/false);
+}
+
+double TapeArchive::transfer(pfs::FileSystem& fs,
+                             const std::vector<std::string>& files,
+                             bool to_tape) {
+  sim::Proc& proc = sim::current_proc();
+  double t0 = proc.now();
+  if (!mounted_) {
+    proc.advance(params_.mount_time, sim::TimeCategory::kIo);
+    mounted_ = true;
+  }
+  // Consecutive files in tape order stream without repositioning; any other
+  // order pays the locate cost per file.  Migration appends, so it is
+  // always sequential; retrieval is sequential only if the requested order
+  // matches the archived order contiguously.
+  std::size_t tape_pos = static_cast<std::size_t>(-1);
+  for (const std::string& f : files) {
+    std::size_t idx = contents_.size();  // append position for migration
+    if (!to_tape) {
+      idx = static_cast<std::size_t>(
+          std::find(contents_.begin(), contents_.end(), f) -
+          contents_.begin());
+    }
+    bool sequential = !to_tape && tape_pos != static_cast<std::size_t>(-1) &&
+                      idx == tape_pos + 1;
+    if (!to_tape && !sequential) {
+      proc.advance(params_.position_time, sim::TimeCategory::kIo);
+    }
+    tape_pos = idx;
+    std::uint64_t bytes = fs.store().size(f);
+    proc.advance(params_.per_file_overhead +
+                     static_cast<double>(bytes) / params_.bandwidth,
+                 sim::TimeCategory::kIo);
+  }
+  return proc.now() - t0;
+}
+
+}  // namespace paramrio::stor

@@ -1,0 +1,60 @@
+// Hierarchical-storage (tape) model.
+//
+// The paper's Section 3.3 justifies writing all grids into one shared file
+// partly with the tertiary-storage argument: "When data size becomes very
+// large and needs to migrate to a tape device, writing grids into a single
+// file can result [in] a contiguous storage space in a hierarchical file
+// system which will generate an optimal performance for data retrieval."
+//
+// This model lets that claim be measured (bench_ablation_tape): a tape
+// archive charges a mount/position cost per file, a per-file fixed overhead
+// (tape marks, catalog), and a streaming rate; many small files pay the
+// positioning cost over and over, one big file streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/units.hpp"
+#include "pfs/filesystem.hpp"
+#include "sim/engine.hpp"
+
+namespace paramrio::stor {
+
+struct TapeParams {
+  double mount_time = 30.0;          ///< load + thread the cartridge
+  double position_time = 4.0;        ///< locate a file mark (average)
+  double per_file_overhead = 0.8;    ///< headers, tape marks, catalog update
+  double bandwidth = mb_per_s(12);   ///< streaming rate (2002 DLT/LTO-1 era)
+};
+
+/// A virtual tape drive.  migrate() copies files from a simulated file
+/// system to the archive; retrieve() brings them back.  All timing is
+/// charged to the calling simulated processor.
+class TapeArchive {
+ public:
+  explicit TapeArchive(TapeParams params) : params_(params) {}
+
+  /// Migrate the named files (in order) to tape; returns seconds spent.
+  double migrate(pfs::FileSystem& fs, const std::vector<std::string>& files);
+
+  /// Retrieve previously migrated files; returns seconds spent.  Files not
+  /// on the archive throw IoError.
+  double retrieve(pfs::FileSystem& fs, const std::vector<std::string>& files);
+
+  bool holds(const std::string& file) const;
+  std::uint64_t archived_bytes() const { return archived_bytes_; }
+  const TapeParams& params() const { return params_; }
+
+ private:
+  double transfer(pfs::FileSystem& fs, const std::vector<std::string>& files,
+                  bool to_tape);
+
+  TapeParams params_;
+  std::vector<std::string> contents_;  ///< in tape order
+  std::uint64_t archived_bytes_ = 0;
+  bool mounted_ = false;
+};
+
+}  // namespace paramrio::stor

@@ -1,0 +1,86 @@
+// I/O tracing and access-pattern analysis.
+//
+// The paper's method (Section 3, building on the Pablo group's "Analysis of
+// I/O Activity of the ENZO Code") is to instrument the application, collect
+// per-request traces, and mine them for optimisation metadata: request
+// sizes, regular vs irregular patterns, sequentiality, access order.  This
+// module reproduces that methodology: an IoTracer attaches to any simulated
+// FileSystem, records every data request with its virtual timestamp, and
+// produces the summary statistics the paper's analysis rests on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <array>
+
+#include "base/error.hpp"
+#include "pfs/filesystem.hpp"
+
+namespace paramrio::trace {
+
+struct IoEvent {
+  double time = 0.0;  ///< virtual time at issue
+  int rank = -1;
+  bool is_write = false;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-direction request statistics.
+struct DirectionStats {
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t min_request = 0;
+  std::uint64_t max_request = 0;
+  double sequential_fraction = 0.0;  ///< adjacent to the same rank's
+                                     ///< previous request on the same file
+  /// Power-of-two request-size histogram: bucket i counts requests with
+  /// 2^i <= size < 2^(i+1) (bucket 0 also holds size 0..1).
+  std::array<std::uint64_t, 33> size_histogram{};
+
+  double mean_request() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(bytes) /
+                               static_cast<double>(requests);
+  }
+};
+
+struct TraceReport {
+  DirectionStats reads;
+  DirectionStats writes;
+  std::uint64_t files_touched = 0;
+  std::uint64_t ranks_active = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+  /// Per-file byte totals (reads + writes), name -> bytes.
+  std::map<std::string, std::uint64_t> per_file_bytes;
+};
+
+class IoTracer final : public pfs::IoObserver {
+ public:
+  /// Called by an attached FileSystem for every data request.
+  void record(double time, int rank, bool is_write, const std::string& path,
+              std::uint64_t offset, std::uint64_t bytes);
+
+  void on_io(double time, int rank, bool is_write, const std::string& path,
+             std::uint64_t offset, std::uint64_t bytes) override {
+    record(time, rank, is_write, path, offset, bytes);
+  }
+
+  void clear();
+  const std::vector<IoEvent>& events() const { return events_; }
+
+  TraceReport analyze() const;
+
+  /// Human-readable report (the paper's Section-3-style summary).
+  std::string format_report(const std::string& title) const;
+
+ private:
+  std::vector<IoEvent> events_;
+};
+
+}  // namespace paramrio::trace

@@ -1,0 +1,87 @@
+// Smoke tests for the benchmark harness itself: every (platform, backend)
+// pair must produce sane timings and consistent byte counts on a small
+// workload — guarding the measurement plumbing every figure depends on.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace paramrio::bench {
+namespace {
+
+enzo::SimulationConfig tiny_config() {
+  enzo::SimulationConfig c;
+  c.root_dims = {16, 16, 16};
+  c.particles_per_cell = 0.25;
+  c.compute_per_cell = 0.0;
+  return c;
+}
+
+class HarnessMatrix
+    : public ::testing::TestWithParam<std::tuple<int, Backend>> {};
+
+TEST_P(HarnessMatrix, ProducesSaneMeasurements) {
+  auto [machine_idx, backend] = GetParam();
+  RunSpec spec;
+  switch (machine_idx) {
+    case 0:
+      spec.machine = platform::origin2000_xfs();
+      break;
+    case 1:
+      spec.machine = platform::sp2_gpfs();
+      break;
+    case 2:
+      spec.machine = platform::chiba_pvfs_ethernet();
+      break;
+    default:
+      spec.machine = platform::chiba_local_disk();
+      break;
+  }
+  spec.config = tiny_config();
+  spec.nprocs = 4;
+  spec.backend = backend;
+  spec.evolve_cycles = 1;
+
+  IoResult r = run_enzo_io(spec);
+  EXPECT_GT(r.write_time, 0.0);
+  EXPECT_GT(r.read_time, 0.0);
+  EXPECT_LT(r.write_time, 600.0);
+  EXPECT_LT(r.read_time, 600.0);
+  // A dump moves at least its payload; format overhead stays within 10%.
+  EXPECT_GE(r.fs_bytes_written, r.payload_bytes);
+  EXPECT_LE(r.fs_bytes_written,
+            r.payload_bytes + r.payload_bytes / 10 + 64 * KiB);
+  // The restart read moves roughly the same volume it wrote (sieving can
+  // over-read hulls; caching can absorb re-reads).
+  EXPECT_GT(r.fs_bytes_read, r.payload_bytes / 2);
+  EXPECT_GE(r.grids, 2u);  // root + refinement
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, HarnessMatrix,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(Backend::kHdf4, Backend::kMpiIo,
+                                         Backend::kHdf5, Backend::kPnetcdf)));
+
+TEST(Harness, DeterministicAcrossRepeats) {
+  RunSpec spec;
+  spec.machine = platform::origin2000_xfs();
+  spec.config = tiny_config();
+  spec.nprocs = 4;
+  spec.backend = Backend::kMpiIo;
+  IoResult a = run_enzo_io(spec);
+  IoResult b = run_enzo_io(spec);
+  EXPECT_DOUBLE_EQ(a.write_time, b.write_time);
+  EXPECT_DOUBLE_EQ(a.read_time, b.read_time);
+  EXPECT_EQ(a.fs_bytes_written, b.fs_bytes_written);
+  EXPECT_EQ(a.fs_bytes_read, b.fs_bytes_read);
+}
+
+TEST(Harness, BackendNames) {
+  EXPECT_EQ(to_string(Backend::kHdf4), "HDF4");
+  EXPECT_EQ(to_string(Backend::kMpiIo), "MPI-IO");
+  EXPECT_EQ(to_string(Backend::kHdf5), "HDF5");
+  EXPECT_EQ(to_string(Backend::kPnetcdf), "PnetCDF");
+}
+
+}  // namespace
+}  // namespace paramrio::bench

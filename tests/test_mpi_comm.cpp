@@ -1,0 +1,332 @@
+// Unit tests for the mini-MPI: point-to-point semantics and all collectives,
+// across a sweep of communicator sizes (including non-powers of two).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "mpi/comm.hpp"
+
+namespace paramrio::mpi {
+namespace {
+
+RuntimeParams rparams(int n) {
+  RuntimeParams p;
+  p.nprocs = n;
+  p.net.latency = us(10);
+  p.net.bandwidth = mb_per_s(100);
+  return p;
+}
+
+Bytes make_bytes(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+std::string as_string(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(Comm, SendRecvDeliversPayload) {
+  Runtime rt(rparams(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      auto msg = make_bytes("hello from zero");
+      c.send(1, 7, msg);
+    } else {
+      Bytes got = c.recv(0, 7);
+      EXPECT_EQ(as_string(got), "hello from zero");
+    }
+  });
+}
+
+TEST(Comm, TagMatchingIsSelective) {
+  Runtime rt(rparams(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, make_bytes("one"));
+      c.send(1, 2, make_bytes("two"));
+    } else {
+      // Receive out of order: tag 2 first.
+      EXPECT_EQ(as_string(c.recv(0, 2)), "two");
+      EXPECT_EQ(as_string(c.recv(0, 1)), "one");
+    }
+  });
+}
+
+TEST(Comm, FifoOrderWithinTag) {
+  Runtime rt(rparams(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        c.send(1, 9, make_bytes("msg" + std::to_string(i)));
+      }
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(as_string(c.recv(0, 9)), "msg" + std::to_string(i));
+      }
+    }
+  });
+}
+
+TEST(Comm, SendToSelf) {
+  Runtime rt(rparams(1));
+  rt.run([](Comm& c) {
+    c.send(0, 3, make_bytes("loopback"));
+    EXPECT_EQ(as_string(c.recv(0, 3)), "loopback");
+  });
+}
+
+TEST(Comm, RecvBlocksUntilMessageArrives) {
+  Runtime rt(rparams(2));
+  auto r = rt.run([](Comm& c) {
+    if (c.rank() == 1) {
+      Bytes got = c.recv(0, 1);  // posted long before the send
+      EXPECT_EQ(got.size(), 8u);
+      EXPECT_GE(c.proc().now(), 5.0);  // can't complete before the send
+    } else {
+      c.proc().advance(5.0);
+      c.send(1, 1, Bytes(8));
+    }
+  });
+}
+
+TEST(Comm, MissingMessageDeadlocks) {
+  Runtime rt(rparams(2));
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 if (c.rank() == 1) c.recv(0, 42);  // never sent
+               }),
+               DeadlockError);
+}
+
+TEST(Comm, TypedSendRecv) {
+  Runtime rt(rparams(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v = {1.5, -2.5, 3.25};
+      c.send_values<double>(1, 4, v);
+    } else {
+      auto v = c.recv_values<double>(0, 4);
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_DOUBLE_EQ(v[1], -2.5);
+    }
+  });
+}
+
+class CommSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommSweep, BarrierSynchronises) {
+  Runtime rt(rparams(GetParam()));
+  auto r = rt.run([](Comm& c) {
+    // Rank r idles r seconds, then the barrier holds everyone to >= max.
+    c.proc().advance(static_cast<double>(c.rank()));
+    c.barrier();
+    EXPECT_GE(c.proc().now(), static_cast<double>(c.size() - 1));
+  });
+}
+
+TEST_P(CommSweep, BcastFromEveryRoot) {
+  int n = GetParam();
+  Runtime rt(rparams(n));
+  rt.run([](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      Bytes data;
+      if (c.rank() == root) {
+        data = make_bytes("root says " + std::to_string(root));
+      }
+      c.bcast(data, root);
+      EXPECT_EQ(as_string(data), "root says " + std::to_string(root));
+    }
+  });
+}
+
+TEST_P(CommSweep, GathervCollectsInRankOrder) {
+  Runtime rt(rparams(GetParam()));
+  rt.run([](Comm& c) {
+    // Variable-size contribution: rank r sends r+1 bytes of value r.
+    Bytes mine(static_cast<std::size_t>(c.rank() + 1),
+               static_cast<std::byte>(c.rank()));
+    auto all = c.gatherv(mine, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(c.size()));
+      for (int r = 0; r < c.size(); ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r + 1));
+        for (auto b : all[static_cast<std::size_t>(r)]) {
+          EXPECT_EQ(b, static_cast<std::byte>(r));
+        }
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CommSweep, ScattervDistributes) {
+  Runtime rt(rparams(GetParam()));
+  rt.run([](Comm& c) {
+    std::vector<Bytes> chunks;
+    if (c.rank() == 0) {
+      for (int r = 0; r < c.size(); ++r) {
+        chunks.push_back(Bytes(static_cast<std::size_t>(2 * r + 1),
+                               static_cast<std::byte>(r * 3)));
+      }
+    }
+    Bytes mine = c.scatterv(chunks, 0);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(2 * c.rank() + 1));
+    for (auto b : mine) EXPECT_EQ(b, static_cast<std::byte>(c.rank() * 3));
+  });
+}
+
+TEST_P(CommSweep, AllgathervEveryoneSeesEverything) {
+  Runtime rt(rparams(GetParam()));
+  rt.run([](Comm& c) {
+    Bytes mine(static_cast<std::size_t>(c.rank() + 1),
+               static_cast<std::byte>(c.rank() + 100));
+    auto all = c.allgatherv(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(c.size()));
+    for (int r = 0; r < c.size(); ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      for (auto b : all[static_cast<std::size_t>(r)]) {
+        EXPECT_EQ(b, static_cast<std::byte>(r + 100));
+      }
+    }
+  });
+}
+
+TEST_P(CommSweep, AlltoallvPersonalizedExchange) {
+  Runtime rt(rparams(GetParam()));
+  rt.run([](Comm& c) {
+    // out[i][k] encodes (sender, receiver).
+    std::vector<Bytes> out(static_cast<std::size_t>(c.size()));
+    for (int i = 0; i < c.size(); ++i) {
+      out[static_cast<std::size_t>(i)] = Bytes(
+          static_cast<std::size_t>(c.rank() + i + 1),
+          static_cast<std::byte>(c.rank() * 16 + i));
+    }
+    auto in = c.alltoallv(out);
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(c.size()));
+    for (int i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(in[static_cast<std::size_t>(i)].size(),
+                static_cast<std::size_t>(i + c.rank() + 1));
+      for (auto b : in[static_cast<std::size_t>(i)]) {
+        EXPECT_EQ(b, static_cast<std::byte>(i * 16 + c.rank()));
+      }
+    }
+  });
+}
+
+TEST_P(CommSweep, Reductions) {
+  int n = GetParam();
+  Runtime rt(rparams(n));
+  rt.run([n](Comm& c) {
+    auto r = static_cast<std::uint64_t>(c.rank());
+    EXPECT_EQ(c.allreduce_sum(r + 1),
+              static_cast<std::uint64_t>(n) * (n + 1) / 2);
+    EXPECT_EQ(c.allreduce_max(r), static_cast<std::uint64_t>(n - 1));
+    EXPECT_EQ(c.allreduce_min(r + 5), 5u);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank()) * 1.5),
+                     (n - 1) * 1.5);
+    auto v = c.allreduce_sum(std::vector<std::uint64_t>{r, 1, 2 * r});
+    EXPECT_EQ(v[0], static_cast<std::uint64_t>(n) * (n - 1) / 2);
+    EXPECT_EQ(v[1], static_cast<std::uint64_t>(n));
+    EXPECT_EQ(v[2], static_cast<std::uint64_t>(n) * (n - 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CommSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Comm, SendrecvExchange) {
+  Runtime rt(rparams(2));
+  rt.run([](Comm& c) {
+    int other = 1 - c.rank();
+    auto mine = make_bytes("from " + std::to_string(c.rank()));
+    Bytes got = c.sendrecv(other, 5, mine, other, 5);
+    EXPECT_EQ(as_string(got), "from " + std::to_string(other));
+  });
+}
+
+TEST(Comm, IrecvPostedBeforeSendCompletesOnWait) {
+  Runtime rt(rparams(2));
+  rt.run([](Comm& c) {
+    if (c.rank() == 1) {
+      Bytes out;
+      auto req = c.irecv(0, 3, out);
+      EXPECT_TRUE(req.active());
+      EXPECT_TRUE(out.empty());  // not yet delivered
+      c.wait(req);
+      EXPECT_FALSE(req.active());
+      EXPECT_EQ(as_string(out), "late message");
+    } else {
+      c.proc().advance(1.0);
+      c.send(1, 3, make_bytes("late message"));
+    }
+  });
+}
+
+TEST(Comm, WaitAllDrainsMixedRequests) {
+  Runtime rt(rparams(3));
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      Bytes from1, from2;
+      std::array<Comm::Request, 4> reqs = {
+          c.irecv(1, 7, from1),
+          c.irecv(2, 7, from2),
+          c.isend(1, 8, make_bytes("to one")),
+          c.isend(2, 8, make_bytes("to two")),
+      };
+      c.wait_all(reqs);
+      EXPECT_EQ(as_string(from1), "one");
+      EXPECT_EQ(as_string(from2), "two");
+      for (auto& r : reqs) EXPECT_FALSE(r.active());
+    } else {
+      c.send(0, 7, make_bytes(c.rank() == 1 ? "one" : "two"));
+      EXPECT_EQ(as_string(c.recv(0, 8)),
+                c.rank() == 1 ? "to one" : "to two");
+    }
+  });
+}
+
+TEST(Comm, WaitOnNullRequestIsNoop) {
+  Runtime rt(rparams(1));
+  rt.run([](Comm& c) {
+    Comm::Request r;
+    EXPECT_FALSE(r.active());
+    c.wait(r);  // must not block or throw
+  });
+}
+
+TEST(Comm, ChargesAccrueOnStats) {
+  Runtime rt(rparams(2));
+  auto r = rt.run([](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, Bytes(1000));
+    if (c.rank() == 1) c.recv(0, 0);
+    c.charge_memcpy(300'000'000);  // 1 s at 300 MB/s
+    c.charge_sort(1 << 20);
+  });
+  EXPECT_EQ(r.stats[0].messages_sent, 1u);
+  EXPECT_EQ(r.stats[0].bytes_sent, 1000u);
+  EXPECT_EQ(r.stats[1].bytes_received, 1000u);
+  EXPECT_GT(r.stats[0].cpu_time, 0.9);
+  EXPECT_GT(r.stats[0].comm_time, 0.0);
+}
+
+TEST(Comm, GatherAtRootSerialisesOnReceiverCopies) {
+  // The HDF4-path mechanism: gathering S bytes from P ranks costs the root
+  // at least S * recv_byte_cost, regardless of network parallelism.
+  RuntimeParams p = rparams(8);
+  p.net.recv_byte_cost = 1.0 / mb_per_s(100);
+  Runtime rt(p);
+  auto r = rt.run([](Comm& c) {
+    Bytes mine(static_cast<std::size_t>(MiB));
+    c.gatherv(mine, 0);
+  });
+  // 7 remote MiB at 100 MB/s copy = ~0.073 s minimum at the root.
+  EXPECT_GT(r.finish_times[0], 0.07);
+}
+
+}  // namespace
+}  // namespace paramrio::mpi

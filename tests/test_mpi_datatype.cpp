@@ -1,0 +1,157 @@
+// Unit tests for MPI-style derived datatypes and view-stream mapping.
+#include <gtest/gtest.h>
+
+#include "mpi/datatype.hpp"
+
+namespace paramrio::mpi {
+namespace {
+
+TEST(Datatype, Contiguous) {
+  auto t = Datatype::contiguous(64);
+  EXPECT_EQ(t.size(), 64u);
+  EXPECT_EQ(t.extent(), 64u);
+  EXPECT_TRUE(t.is_contiguous());
+  ASSERT_EQ(t.segments().size(), 1u);
+  EXPECT_EQ(t.segments()[0], (Segment{0, 64}));
+}
+
+TEST(Datatype, Vector) {
+  auto t = Datatype::vector(/*count=*/3, /*blocklen=*/4, /*stride=*/10);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.extent(), 24u);
+  EXPECT_FALSE(t.is_contiguous());
+  ASSERT_EQ(t.segments().size(), 3u);
+  EXPECT_EQ(t.segments()[1], (Segment{10, 4}));
+}
+
+TEST(Datatype, VectorWithStrideEqualBlocklenCoalesces) {
+  auto t = Datatype::vector(4, 8, 8);
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.size(), 32u);
+}
+
+TEST(Datatype, IndexedSortsAndCoalesces) {
+  auto t = Datatype::indexed({{20, 5}, {0, 10}, {10, 10}});
+  // [0,10) and [10,20) and [20,25) coalesce into one run.
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.size(), 25u);
+}
+
+TEST(Datatype, IndexedOverlapThrows) {
+  EXPECT_THROW(Datatype::indexed({{0, 10}, {5, 10}}), LogicError);
+}
+
+TEST(Datatype, IndexedExtentOverride) {
+  auto t = Datatype::indexed({{0, 4}}, /*extent_override=*/16);
+  EXPECT_EQ(t.extent(), 16u);
+  EXPECT_FALSE(t.is_contiguous());
+}
+
+TEST(Datatype, EmptyTypeRejected) {
+  EXPECT_THROW(Datatype::indexed({}), LogicError);
+  EXPECT_THROW(Datatype::indexed({{0, 0}}), LogicError);
+}
+
+TEST(Datatype, Subarray2D) {
+  // 4x6 array of 2-byte elements; take rows 1..2, cols 2..4.
+  auto t = Datatype::subarray({4, 6}, {2, 3}, {1, 2}, 2);
+  EXPECT_EQ(t.size(), 2u * 3 * 2);
+  EXPECT_EQ(t.extent(), 4u * 6 * 2);
+  ASSERT_EQ(t.segments().size(), 2u);
+  // Row 1 starts at element (1,2) = index 8 -> byte 16, length 6 bytes.
+  EXPECT_EQ(t.segments()[0], (Segment{16, 6}));
+  // Row 2 at element (2,2) = index 14 -> byte 28.
+  EXPECT_EQ(t.segments()[1], (Segment{28, 6}));
+}
+
+TEST(Datatype, Subarray3DBlockRowsMatchManualEnumeration) {
+  // 4x4x4 array of 4-byte elements, block [1..2]x[0..1]x[2..3].
+  auto t = Datatype::subarray({4, 4, 4}, {2, 2, 2}, {1, 0, 2}, 4);
+  EXPECT_EQ(t.size(), 8u * 4);
+  ASSERT_EQ(t.segments().size(), 4u);
+  auto at = [](std::uint64_t z, std::uint64_t y, std::uint64_t x) {
+    return ((z * 4 + y) * 4 + x) * 4;
+  };
+  EXPECT_EQ(t.segments()[0].offset, at(1, 0, 2));
+  EXPECT_EQ(t.segments()[1].offset, at(1, 1, 2));
+  EXPECT_EQ(t.segments()[2].offset, at(2, 0, 2));
+  EXPECT_EQ(t.segments()[3].offset, at(2, 1, 2));
+  for (const auto& s : t.segments()) EXPECT_EQ(s.length, 8u);
+}
+
+TEST(Datatype, SubarrayFullArrayIsContiguous) {
+  auto t = Datatype::subarray({8, 8}, {8, 8}, {0, 0}, 4);
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.size(), 256u);
+}
+
+TEST(Datatype, SubarrayWholeRowsCoalesce) {
+  // Taking complete rows of the fastest dims collapses into one segment per
+  // contiguous slab.
+  auto t = Datatype::subarray({4, 4, 4}, {2, 4, 4}, {1, 0, 0}, 1);
+  EXPECT_EQ(t.segments().size(), 1u);
+  EXPECT_EQ(t.segments()[0], (Segment{16, 32}));
+}
+
+TEST(Datatype, SubarrayBoundsChecked) {
+  EXPECT_THROW(Datatype::subarray({4, 4}, {2, 3}, {3, 0}, 1), LogicError);
+  EXPECT_THROW(Datatype::subarray({4}, {2, 2}, {0}, 1), LogicError);
+  EXPECT_THROW(Datatype::subarray({4}, {0}, {0}, 1), LogicError);
+}
+
+TEST(Datatype, MapStreamWithinOneTile) {
+  auto t = Datatype::vector(3, 4, 10);  // visible [0,4)[10,14)[20,24)
+  std::vector<Segment> out;
+  t.map_stream(2, 6, out);  // stream bytes 2..8: file 2..4 then 10..14
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Segment{2, 2}));
+  EXPECT_EQ(out[1], (Segment{10, 4}));
+}
+
+TEST(Datatype, MapStreamAcrossTiles) {
+  auto t = Datatype::vector(2, 4, 8);  // size 8, extent 12
+  std::vector<Segment> out;
+  t.map_stream(6, 8, out);
+  // Stream [6,14): tile0 seg1 [8+2,12)=file[10,12), tile1 seg0 file[12,16),
+  // tile1 seg1 file[20,22).  [10,12) and [12,16) coalesce.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Segment{10, 6}));
+  EXPECT_EQ(out[1], (Segment{20, 2}));
+}
+
+TEST(Datatype, MapStreamContiguousIdentity) {
+  auto t = Datatype::contiguous(16);
+  std::vector<Segment> out;
+  t.map_stream(100, 32, out);
+  ASSERT_EQ(out.size(), 1u);  // tiles coalesce seamlessly
+  EXPECT_EQ(out[0], (Segment{100, 32}));
+}
+
+class SubarraySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SubarraySweep, VisibleBytesMatchBlockVolume) {
+  auto [n, b, elem] = GetParam();
+  auto nn = static_cast<std::uint64_t>(n);
+  auto bb = static_cast<std::uint64_t>(b);
+  std::uint64_t xs = bb < nn ? 1 : 0;  // keep the block in bounds
+  auto t = Datatype::subarray({nn, nn, nn}, {bb, bb, bb}, {nn - bb, 0, xs},
+                              static_cast<std::uint64_t>(elem));
+  EXPECT_EQ(t.size(), bb * bb * bb * static_cast<std::uint64_t>(elem));
+  EXPECT_EQ(t.extent(), nn * nn * nn * static_cast<std::uint64_t>(elem));
+  // Stream mapping of the whole block must reproduce size() bytes.
+  std::vector<Segment> out;
+  t.map_stream(0, t.size(), out);
+  std::uint64_t total = 0;
+  for (const auto& s : out) total += s.length;
+  EXPECT_EQ(total, t.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SubarraySweep,
+    ::testing::Values(std::make_tuple(4, 2, 4), std::make_tuple(8, 3, 4),
+                      std::make_tuple(16, 5, 8), std::make_tuple(8, 8, 4),
+                      std::make_tuple(6, 1, 2)));
+
+}  // namespace
+}  // namespace paramrio::mpi

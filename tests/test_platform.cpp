@@ -1,0 +1,103 @@
+// Tests for the calibrated platform models and the Testbed bundle.
+#include <gtest/gtest.h>
+
+#include "platform/machine.hpp"
+
+namespace paramrio::platform {
+namespace {
+
+TEST(Machines, FourPlatformsConstructWithExpectedTraits) {
+  Machine origin = origin2000_xfs();
+  EXPECT_EQ(origin.fs_kind, FsKind::kLocalXfs);
+  EXPECT_FALSE(origin.net.nic_contention);
+  EXPECT_EQ(origin.extra_fabric_nodes(), 0);
+
+  Machine sp2 = sp2_gpfs();
+  EXPECT_EQ(sp2.fs_kind, FsKind::kStriped);
+  EXPECT_TRUE(sp2.net.nic_contention);
+  EXPECT_TRUE(sp2.striped_fs.smp_io_channel);
+  EXPECT_GT(sp2.striped_fs.write_lock_cost, 0.0);  // GPFS tokens
+  EXPECT_GT(sp2.net.procs_per_node, 1);            // SMP nodes
+  EXPECT_EQ(sp2.extra_fabric_nodes(), sp2.striped_fs.n_io_nodes);
+
+  Machine pvfs = chiba_pvfs_ethernet();
+  EXPECT_EQ(pvfs.fs_kind, FsKind::kStriped);
+  EXPECT_DOUBLE_EQ(pvfs.striped_fs.write_lock_cost, 0.0);  // no locks
+  EXPECT_DOUBLE_EQ(pvfs.striped_fs.client_cache_bandwidth, 0.0);  // no cache
+  EXPECT_GT(pvfs.net.backplane_bandwidth, 0.0);  // oversubscribed Ethernet
+  EXPECT_EQ(pvfs.striped_fs.n_io_nodes, 8);
+
+  Machine local = chiba_local_disk();
+  EXPECT_EQ(local.fs_kind, FsKind::kLocalDisk);
+  EXPECT_EQ(local.extra_fabric_nodes(), 0);
+}
+
+TEST(Machines, EthernetIsMuchSlowerThanTheOthers) {
+  EXPECT_LT(chiba_pvfs_ethernet().net.bandwidth,
+            sp2_gpfs().net.bandwidth / 5.0);
+  EXPECT_LT(sp2_gpfs().net.bandwidth, origin2000_xfs().net.bandwidth);
+}
+
+class TestbedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TestbedSweep, EveryPlatformRunsASmokeWorkload) {
+  int machine_idx = GetParam();
+  Machine m;
+  switch (machine_idx) {
+    case 0:
+      m = origin2000_xfs();
+      break;
+    case 1:
+      m = sp2_gpfs();
+      break;
+    case 2:
+      m = chiba_pvfs_ethernet();
+      break;
+    default:
+      m = chiba_local_disk();
+      break;
+  }
+  Testbed tb(m, 4);
+  auto r = tb.runtime().run([&](mpi::Comm& c) {
+    // A small exchange plus a file round-trip on each platform.
+    std::uint64_t sum = c.allreduce_sum(static_cast<std::uint64_t>(c.rank()));
+    EXPECT_EQ(sum, 6u);
+    if (c.rank() == 0) {
+      int fd = tb.fs().open("smoke", pfs::OpenMode::kCreate);
+      std::vector<std::byte> data(128 * KiB, std::byte{0x42});
+      tb.fs().write_at(fd, 0, data);
+      std::vector<std::byte> back(data.size());
+      tb.fs().read_at(fd, 0, back);
+      EXPECT_EQ(back, data);
+      tb.fs().close(fd);
+    }
+    c.barrier();
+  });
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_LT(r.makespan, 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, TestbedSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Testbed, VirtualTimeOrderingAcrossPlatforms) {
+  // The same byte volume must be far slower over fast Ethernet PVFS than on
+  // the Origin's local XFS.
+  auto time_write = [](Machine m) {
+    Testbed tb(m, 2);
+    auto r = tb.runtime().run([&](mpi::Comm& c) {
+      if (c.rank() == 0) {
+        int fd = tb.fs().open("f", pfs::OpenMode::kCreate);
+        std::vector<std::byte> data(8 * MiB);
+        tb.fs().write_at(fd, 0, data);
+        tb.fs().close(fd);
+      }
+    });
+    return r.finish_times[0];
+  };
+  EXPECT_GT(time_write(chiba_pvfs_ethernet()),
+            3.0 * time_write(origin2000_xfs()));
+}
+
+}  // namespace
+}  // namespace paramrio::platform

@@ -1,0 +1,74 @@
+// Shape-regression tests: the qualitative directions of the paper's figures
+// must hold even at reduced problem size, guarding the platform calibration
+// against accidental regressions.  (The benches measure the full sizes; see
+// EXPERIMENTS.md.)
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace paramrio::bench {
+namespace {
+
+enzo::SimulationConfig shape_config(std::uint64_t n = 32) {
+  enzo::SimulationConfig c;
+  c.root_dims = {n, n, n};
+  c.particles_per_cell = 0.5;
+  c.compute_per_cell = 0.0;
+  return c;
+}
+
+IoResult run(const platform::Machine& m, Backend b, int procs,
+             std::uint64_t n = 32) {
+  RunSpec spec;
+  spec.machine = m;
+  spec.config = shape_config(n);
+  spec.nprocs = procs;
+  spec.backend = b;
+  return run_enzo_io(spec);
+}
+
+TEST(Shapes, Fig6OriginMpiIoWritesBeatHdf4) {
+  // The Origin advantage needs the real AMR64 volume (at 32^3 the fixed
+  // per-collective costs cancel it — the AMR64-read parity noted in
+  // EXPERIMENTS.md).
+  auto hdf4 = run(platform::origin2000_xfs(), Backend::kHdf4, 8, 64);
+  auto mpiio = run(platform::origin2000_xfs(), Backend::kMpiIo, 8, 64);
+  EXPECT_LT(mpiio.write_time, hdf4.write_time);
+}
+
+TEST(Shapes, Fig7GpfsMpiIoWritesLoseToHdf4) {
+  auto hdf4 = run(platform::sp2_gpfs(), Backend::kHdf4, 16);
+  auto mpiio = run(platform::sp2_gpfs(), Backend::kMpiIo, 16);
+  EXPECT_GT(mpiio.write_time, hdf4.write_time);
+}
+
+TEST(Shapes, Fig8EthernetReadsFavourMpiIo) {
+  auto hdf4 = run(platform::chiba_pvfs_ethernet(), Backend::kHdf4, 8);
+  auto mpiio = run(platform::chiba_pvfs_ethernet(), Backend::kMpiIo, 8);
+  EXPECT_LT(mpiio.read_time, hdf4.read_time);
+  // Writes show no real MPI-IO advantage on the shared Ethernet.
+  EXPECT_GT(mpiio.write_time, 0.7 * hdf4.write_time);
+}
+
+TEST(Shapes, Fig9LocalDisksFavourMpiIoStrongly) {
+  auto hdf4 = run(platform::chiba_local_disk(), Backend::kHdf4, 8);
+  auto mpiio = run(platform::chiba_local_disk(), Backend::kMpiIo, 8);
+  EXPECT_LT(mpiio.write_time, hdf4.write_time / 1.2);
+  EXPECT_LT(mpiio.read_time, hdf4.read_time / 1.5);
+}
+
+TEST(Shapes, Fig10Hdf5WritesMuchSlowerThanMpiIo) {
+  auto mpiio = run(platform::origin2000_xfs(), Backend::kMpiIo, 8);
+  auto hdf5 = run(platform::origin2000_xfs(), Backend::kHdf5, 8);
+  EXPECT_GT(hdf5.write_time, 2.0 * mpiio.write_time);
+}
+
+TEST(Shapes, ExtensionPnetcdfTracksRawMpiIo) {
+  auto mpiio = run(platform::origin2000_xfs(), Backend::kMpiIo, 8);
+  auto pnetcdf = run(platform::origin2000_xfs(), Backend::kPnetcdf, 8);
+  EXPECT_LT(pnetcdf.write_time, 1.25 * mpiio.write_time);
+  EXPECT_GT(pnetcdf.write_time, 0.75 * mpiio.write_time);
+}
+
+}  // namespace
+}  // namespace paramrio::bench

@@ -1,0 +1,263 @@
+// Unit tests for the conservative virtual-time engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace paramrio::sim {
+namespace {
+
+Engine::Options opts(int n) {
+  Engine::Options o;
+  o.nprocs = n;
+  return o;
+}
+
+TEST(Engine, SingleProcAdvances) {
+  auto r = Engine::run(opts(1), [](Proc& p) {
+    p.advance(1.5);
+    p.advance(0.5, TimeCategory::kIo);
+  });
+  EXPECT_DOUBLE_EQ(r.finish_times[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(r.stats[0].cpu_time, 1.5);
+  EXPECT_DOUBLE_EQ(r.stats[0].io_time, 0.5);
+}
+
+TEST(Engine, ClockAtLeastOnlyMovesForward) {
+  auto r = Engine::run(opts(1), [](Proc& p) {
+    p.advance(3.0);
+    p.clock_at_least(1.0, TimeCategory::kComm);  // no-op
+    EXPECT_DOUBLE_EQ(p.now(), 3.0);
+    p.clock_at_least(4.0, TimeCategory::kComm);
+    EXPECT_DOUBLE_EQ(p.now(), 4.0);
+  });
+  EXPECT_DOUBLE_EQ(r.stats[0].comm_time, 1.0);
+}
+
+TEST(Engine, NegativeAdvanceThrows) {
+  EXPECT_THROW(
+      Engine::run(opts(1), [](Proc& p) { p.advance(-1.0); }), LogicError);
+}
+
+TEST(Engine, ExceptionInBodyPropagates) {
+  EXPECT_THROW(Engine::run(opts(4),
+                           [](Proc& p) {
+                             p.advance(0.1);
+                             if (p.rank() == 2) throw IoError("boom");
+                             p.advance(10.0);
+                           }),
+               IoError);
+}
+
+TEST(Engine, ExecutionIsSerializedAndDeterministic) {
+  // Record the order in which ranks execute their events; with the
+  // min-clock scheduler this order is a pure function of the virtual times.
+  std::vector<int> order;
+  Engine::run(opts(3), [&](Proc& p) {
+    // rank 0 events at t=1,2,3; rank 1 at t=2,4,6; rank 2 at t=3,6,9
+    for (int i = 0; i < 3; ++i) {
+      p.advance(static_cast<double>(p.rank() + 1));
+      order.push_back(p.rank());
+    }
+  });
+  // Expected event completion order (time, rank):
+  // (1,0)(2,0)(2,1)(3,0)(3,2)(4,1)(6,1)(6,2)(9,2)
+  std::vector<int> expected = {0, 0, 1, 0, 2, 1, 1, 2, 2};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Engine, DeterministicAcrossRepeatedRuns) {
+  auto run_once = [] {
+    std::vector<int> order;
+    Engine::run(opts(5), [&](Proc& p) {
+      for (int i = 0; i < 10; ++i) {
+        p.advance(p.rng().next_double() + 0.01);
+        order.push_back(p.rank());
+      }
+    });
+    return order;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Engine, PerRankRngStreamsDiffer) {
+  std::vector<std::uint64_t> first(3);
+  Engine::run(opts(3), [&](Proc& p) {
+    first[static_cast<std::size_t>(p.rank())] = p.rng().next_u64();
+  });
+  EXPECT_NE(first[0], first[1]);
+  EXPECT_NE(first[1], first[2]);
+}
+
+TEST(Engine, SeedChangesRngStreams) {
+  Engine::Options a = opts(1), b = opts(1);
+  b.seed = 999;
+  std::uint64_t va = 0, vb = 0;
+  Engine::run(a, [&](Proc& p) { va = p.rng().next_u64(); });
+  Engine::run(b, [&](Proc& p) { vb = p.rng().next_u64(); });
+  EXPECT_NE(va, vb);
+}
+
+TEST(Engine, BlockedForeverIsDeadlock) {
+  EXPECT_THROW(Engine::run(opts(2),
+                           [](Proc& p) {
+                             if (p.rank() == 0) p.block();  // nobody signals
+                           }),
+               DeadlockError);
+}
+
+TEST(Engine, AllBlockedIsDeadlock) {
+  EXPECT_THROW(Engine::run(opts(3), [](Proc& p) { p.block(); }),
+               DeadlockError);
+}
+
+TEST(Engine, SignalWakesBlockedProc) {
+  // Rank 0 blocks; rank 1 advances then signals it awake.
+  std::vector<double> woke(2, -1.0);
+  Engine::run(opts(2), [&](Proc& p) {
+    if (p.rank() == 0) {
+      p.block();
+      woke[0] = p.now();
+    } else {
+      p.advance(5.0);
+      p.engine().signal(0);
+      p.advance(1.0);
+    }
+  });
+  // Rank 0's clock never advanced — blocking does not consume virtual time;
+  // the wake simply makes it runnable again at its own clock.
+  EXPECT_DOUBLE_EQ(woke[0], 0.0);
+}
+
+TEST(Engine, CurrentProcAccessor) {
+  EXPECT_FALSE(in_simulation());
+  EXPECT_THROW(current_proc(), LogicError);
+  Engine::run(opts(2), [](Proc& p) {
+    EXPECT_TRUE(in_simulation());
+    EXPECT_EQ(&current_proc(), &p);
+  });
+  EXPECT_FALSE(in_simulation());
+}
+
+TEST(Timeline, FifoQueueing) {
+  Timeline tl;
+  EXPECT_DOUBLE_EQ(tl.acquire(0.0, 2.0), 2.0);   // idle: starts immediately
+  EXPECT_DOUBLE_EQ(tl.acquire(1.0, 2.0), 4.0);   // queued behind first
+  EXPECT_DOUBLE_EQ(tl.acquire(10.0, 2.0), 12.0); // idle again
+  tl.reset();
+  EXPECT_DOUBLE_EQ(tl.acquire(0.0, 1.0), 1.0);
+}
+
+TEST(Engine, SharedTimelineSerializesContendingProcs) {
+  // 4 procs each request 1s of service on the same resource at t=0.
+  Timeline disk;
+  auto r = Engine::run(opts(4), [&](Proc& p) {
+    p.use_resource(disk, 1.0, TimeCategory::kIo);
+  });
+  // Served in rank order (deterministic tie-break): completions 1,2,3,4.
+  EXPECT_DOUBLE_EQ(r.finish_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.finish_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.finish_times[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.finish_times[3], 4.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(Engine, IndependentTimelinesRunInParallel) {
+  std::vector<Timeline> disks(4);
+  auto r = Engine::run(opts(4), [&](Proc& p) {
+    p.use_resource(disks[static_cast<std::size_t>(p.rank())], 1.0,
+                   TimeCategory::kIo);
+  });
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+}
+
+TEST(Engine, ResourceArbitrationFollowsVirtualTime) {
+  // Rank 1 reaches the disk at t=0.5, rank 0 at t=2.0: rank 1 must be
+  // served first even though rank 0 has the lower rank id.
+  Timeline disk;
+  auto r = Engine::run(opts(2), [&](Proc& p) {
+    p.advance(p.rank() == 0 ? 2.0 : 0.5);
+    p.use_resource(disk, 1.0, TimeCategory::kIo);
+  });
+  EXPECT_DOUBLE_EQ(r.finish_times[1], 1.5);  // 0.5 + 1.0, no queueing
+  EXPECT_DOUBLE_EQ(r.finish_times[0], 3.0);  // idle again by t=2.0
+}
+
+TEST(Engine, StatsAccumulateAcrossCategories) {
+  auto r = Engine::run(opts(1), [](Proc& p) {
+    p.advance(1.0, TimeCategory::kCpu);
+    p.advance(2.0, TimeCategory::kComm);
+    p.advance(3.0, TimeCategory::kIo);
+    p.stats().bytes_sent += 100;
+    p.stats().io_requests += 2;
+  });
+  EXPECT_DOUBLE_EQ(r.stats[0].cpu_time, 1.0);
+  EXPECT_DOUBLE_EQ(r.stats[0].comm_time, 2.0);
+  EXPECT_DOUBLE_EQ(r.stats[0].io_time, 3.0);
+  EXPECT_EQ(r.stats[0].bytes_sent, 100u);
+  EXPECT_EQ(r.stats[0].io_requests, 2u);
+}
+
+TEST(Engine, ZeroProcsRejected) {
+  EXPECT_THROW(Engine::run(opts(0), [](Proc&) {}), LogicError);
+}
+
+TEST(Engine, ManyProcsComplete) {
+  auto r = Engine::run(opts(64), [](Proc& p) {
+    for (int i = 0; i < 5; ++i) p.advance(0.25);
+  });
+  for (double t : r.finish_times) EXPECT_DOUBLE_EQ(t, 1.25);
+}
+
+
+TEST(Engine, AbortWakesBlockedProcs) {
+  // Rank 1 blocks forever; rank 0 throws.  The abort must unwind rank 1
+  // rather than hang the run, and rank 0's error must surface.
+  EXPECT_THROW(Engine::run(opts(3),
+                           [](Proc& p) {
+                             if (p.rank() == 1) p.block();
+                             if (p.rank() == 0) {
+                               p.advance(0.5);
+                               throw IoError("rank 0 failed");
+                             }
+                             p.advance(1.0);
+                           }),
+               IoError);
+}
+
+TEST(Engine, SignalBeforeBlockIsNotLost) {
+  // A signal delivered while the target is runnable is a no-op; the target
+  // must still be able to block later and be woken by a subsequent signal.
+  Engine::run(opts(2), [](Proc& p) {
+    if (p.rank() == 1) {
+      p.engine().signal(0);  // rank 0 is runnable: no-op
+      p.advance(1.0);
+      p.engine().signal(0);  // this one matters
+    } else {
+      p.advance(0.5);
+      p.block();
+      EXPECT_DOUBLE_EQ(p.now(), 0.5);
+    }
+  });
+}
+
+class EngineFanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFanSweep, MakespanEqualsSlowestRank) {
+  int n = GetParam();
+  auto r = Engine::run(opts(n), [](Proc& p) {
+    p.advance(0.1 * (p.rank() + 1));
+  });
+  EXPECT_DOUBLE_EQ(r.makespan, 0.1 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EngineFanSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace paramrio::sim

@@ -1,0 +1,235 @@
+// Tests for the I/O tracer (the paper's analysis methodology) and the MDMS
+// catalog/advisor (the paper's future-work direction, implemented).
+#include <gtest/gtest.h>
+
+#include "mdms/catalog.hpp"
+#include "pfs/local_fs.hpp"
+#include "sim/engine.hpp"
+#include "trace/io_tracer.hpp"
+
+namespace paramrio {
+namespace {
+
+sim::Engine::Options opts(int n) {
+  sim::Engine::Options o;
+  o.nprocs = n;
+  return o;
+}
+
+TEST(IoTracer, RecordsAttachedFileSystemTraffic) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  trace::IoTracer tracer;
+  fs.attach_observer(&tracer);
+  sim::Engine::run(opts(2), [&](sim::Proc& p) {
+    if (p.rank() == 0) {
+      int fd = fs.open("a", pfs::OpenMode::kCreate);
+      std::vector<std::byte> data(1000);
+      fs.write_at(fd, 0, data);
+      fs.write_at(fd, 1000, data);
+      fs.close(fd);
+    }
+    p.advance(1.0);
+    if (p.rank() == 1) {
+      int fd = fs.open("a", pfs::OpenMode::kRead);
+      std::vector<std::byte> out(500);
+      fs.read_at(fd, 0, out);
+      fs.close(fd);
+    }
+  });
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_TRUE(tracer.events()[0].is_write);
+  EXPECT_EQ(tracer.events()[0].rank, 0);
+  EXPECT_FALSE(tracer.events()[2].is_write);
+  EXPECT_EQ(tracer.events()[2].rank, 1);
+  EXPECT_EQ(tracer.events()[2].bytes, 500u);
+
+  auto r = tracer.analyze();
+  EXPECT_EQ(r.writes.requests, 2u);
+  EXPECT_EQ(r.writes.bytes, 2000u);
+  EXPECT_EQ(r.reads.requests, 1u);
+  EXPECT_EQ(r.files_touched, 1u);
+  EXPECT_EQ(r.ranks_active, 2u);
+  EXPECT_EQ(r.per_file_bytes.at("a"), 2500u);
+  // Second write was sequential after the first.
+  EXPECT_DOUBLE_EQ(r.writes.sequential_fraction, 0.5);
+}
+
+TEST(IoTracer, DetachStopsRecording) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  trace::IoTracer tracer;
+  fs.attach_observer(&tracer);
+  sim::Engine::run(opts(1), [&](sim::Proc&) {
+    int fd = fs.open("a", pfs::OpenMode::kCreate);
+    std::vector<std::byte> data(10);
+    fs.write_at(fd, 0, data);
+    fs.attach_observer(nullptr);
+    fs.write_at(fd, 10, data);
+    fs.close(fd);
+  });
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(IoTracer, SizeHistogramBuckets) {
+  trace::IoTracer t;
+  t.record(0.0, 0, true, "f", 0, 1);        // bucket 0
+  t.record(0.0, 0, true, "f", 1, 1024);     // bucket 10
+  t.record(0.0, 0, true, "f", 2000, 1025);  // bucket 10 (floor log2)
+  t.record(0.0, 0, true, "f", 9000, 65536); // bucket 16
+  auto r = t.analyze();
+  EXPECT_EQ(r.writes.size_histogram[0], 1u);
+  EXPECT_EQ(r.writes.size_histogram[10], 2u);
+  EXPECT_EQ(r.writes.size_histogram[16], 1u);
+  EXPECT_EQ(r.writes.min_request, 1u);
+  EXPECT_EQ(r.writes.max_request, 65536u);
+}
+
+TEST(IoTracer, FormatReportMentionsKeyNumbers) {
+  trace::IoTracer t;
+  t.record(0.5, 0, false, "f", 0, 4096);
+  std::string s = t.format_report("unit test");
+  EXPECT_NE(s.find("unit test"), std::string::npos);
+  EXPECT_NE(s.find("1 requests"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// MDMS
+// ---------------------------------------------------------------------------
+
+TEST(MdmsCatalog, RegisterLookupAndOrder) {
+  mdms::Catalog c;
+  mdms::DatasetRecord a;
+  a.name = "density";
+  a.array_rank = 3;
+  a.dims = {64, 64, 64};
+  a.element_size = 4;
+  a.pattern = mdms::AccessPattern::kRegularBlock;
+  c.register_dataset(a);
+  mdms::DatasetRecord b;
+  b.name = "particle_id";
+  b.array_rank = 1;
+  b.dims = {1000};
+  b.element_size = 8;
+  b.pattern = mdms::AccessPattern::kIrregular;
+  c.register_dataset(b);
+
+  EXPECT_TRUE(c.has("density"));
+  EXPECT_FALSE(c.has("nope"));
+  EXPECT_THROW(c.lookup("nope"), IoError);
+  EXPECT_EQ(c.lookup("density").total_elements(), 64ull * 64 * 64);
+  EXPECT_EQ(c.names(), (std::vector<std::string>{"density", "particle_id"}));
+}
+
+TEST(MdmsCatalog, AccessStatisticsAccumulate) {
+  mdms::Catalog c;
+  c.record_access("x", 1000, true, 0);
+  c.record_access("x", 3000, true, 1);
+  c.record_access("x", 2000, false, 0);
+  const auto& r = c.lookup("x");
+  EXPECT_EQ(r.accesses, 3u);
+  EXPECT_EQ(r.total_bytes, 6000u);
+  EXPECT_EQ(r.typical_request, 2000u);
+  EXPECT_EQ(r.writer_count, 2u);
+}
+
+TEST(MdmsCatalog, SaveLoadRoundTrip) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  mdms::Catalog c;
+  mdms::DatasetRecord a;
+  a.name = "density";
+  a.array_rank = 3;
+  a.dims = {16, 16, 16};
+  a.element_size = 4;
+  a.pattern = mdms::AccessPattern::kRegularBlock;
+  c.register_dataset(a);
+  c.record_access("density", 4096, true, 2);
+  sim::Engine::run(opts(1), [&](sim::Proc&) {
+    c.save(fs, "catalog.mdms");
+    mdms::Catalog back = mdms::Catalog::load(fs, "catalog.mdms");
+    EXPECT_EQ(back.size(), 1u);
+    const auto& r = back.lookup("density");
+    EXPECT_EQ(r.dims, (std::vector<std::uint64_t>{16, 16, 16}));
+    EXPECT_EQ(r.pattern, mdms::AccessPattern::kRegularBlock);
+    EXPECT_EQ(r.accesses, 1u);
+    EXPECT_EQ(r.writer_count, 1u);
+  });
+}
+
+TEST(MdmsCatalog, LearnsPatternsFromTrace) {
+  trace::IoTracer t;
+  // "blocks": 2 ranks, each strictly sequential in its own half.
+  t.record(0.0, 0, true, "blocks", 0, 100);
+  t.record(0.1, 1, true, "blocks", 1000, 100);
+  t.record(0.2, 0, true, "blocks", 100, 100);
+  t.record(0.3, 1, true, "blocks", 1100, 100);
+  // "scatter": 2 ranks jumping around.
+  t.record(0.0, 0, true, "scatter", 500, 10);
+  t.record(0.1, 0, true, "scatter", 0, 10);
+  t.record(0.2, 1, true, "scatter", 900, 10);
+  t.record(0.3, 1, true, "scatter", 100, 10);
+  // "serial": one rank, append-only.
+  t.record(0.0, 2, true, "serial", 0, 50);
+  t.record(0.1, 2, true, "serial", 50, 50);
+
+  mdms::Catalog c;
+  c.learn_from_trace(t);
+  EXPECT_EQ(c.lookup("blocks").pattern, mdms::AccessPattern::kRegularBlock);
+  EXPECT_EQ(c.lookup("scatter").pattern, mdms::AccessPattern::kIrregular);
+  EXPECT_EQ(c.lookup("serial").pattern,
+            mdms::AccessPattern::kSequentialAppend);
+  EXPECT_EQ(c.lookup("blocks").writer_count, 2u);
+}
+
+TEST(MdmsAdvisor, RegularBlocksGetCollectiveUnlessLocked) {
+  mdms::DatasetRecord r;
+  r.name = "density";
+  r.pattern = mdms::AccessPattern::kRegularBlock;
+  r.typical_request = 256 * KiB;
+
+  mdms::PlatformTraits open_fs;
+  open_fs.shared_file_write_locks = false;
+  open_fs.stripe_size = 64 * KiB;
+  mdms::Advice a = mdms::advise(r, open_fs);
+  EXPECT_TRUE(a.use_collective);
+  EXPECT_GE(a.hints.cb_buffer_size, 4 * open_fs.stripe_size);
+
+  mdms::PlatformTraits gpfs;
+  gpfs.shared_file_write_locks = true;
+  gpfs.io_parallelism = 12;
+  mdms::Advice b = mdms::advise(r, gpfs);
+  EXPECT_FALSE(b.use_collective);
+  EXPECT_GT(b.hints.cb_nodes, 0);
+  EXPECT_NE(b.rationale.find("lock"), std::string::npos);
+}
+
+TEST(MdmsAdvisor, IrregularAndSequentialCases) {
+  mdms::PlatformTraits traits;
+  mdms::DatasetRecord irr;
+  irr.pattern = mdms::AccessPattern::kIrregular;
+  EXPECT_FALSE(mdms::advise(irr, traits).use_collective);
+  EXPECT_TRUE(mdms::advise(irr, traits).use_data_sieving);
+
+  mdms::DatasetRecord seq;
+  seq.pattern = mdms::AccessPattern::kSequentialAppend;
+  EXPECT_FALSE(mdms::advise(seq, traits).use_data_sieving);
+}
+
+TEST(MdmsAdvisor, StripeRecommendationTracksRequestSize) {
+  mdms::PlatformTraits traits;
+  mdms::DatasetRecord r;
+  r.pattern = mdms::AccessPattern::kRegularBlock;
+  r.typical_request = 100 * KiB;
+  auto a = mdms::advise(r, traits);
+  EXPECT_GE(a.recommended_stripe, 100 * KiB);
+  EXPECT_LE(a.recommended_stripe, 4 * MiB);
+  r.typical_request = 0;
+  EXPECT_EQ(mdms::advise(r, traits).recommended_stripe, 0u);
+}
+
+TEST(MdmsAdvisor, PatternNames) {
+  EXPECT_EQ(mdms::to_string(mdms::AccessPattern::kRegularBlock),
+            "regular-block");
+  EXPECT_EQ(mdms::to_string(mdms::AccessPattern::kIrregular), "irregular");
+}
+
+}  // namespace
+}  // namespace paramrio
