@@ -15,6 +15,7 @@ template <typename T>
 void append_column(mpi::Bytes& out, const std::vector<T>& src,
                    const std::vector<std::uint32_t>* indices) {
   std::size_t n = indices != nullptr ? indices->size() : src.size();
+  if (n == 0) return;  // empty vectors may have null data()
   std::size_t base = out.size();
   out.resize(base + n * sizeof(T));
   T* dst = reinterpret_cast<T*>(out.data() + base);
@@ -49,6 +50,7 @@ mpi::Bytes pack_impl(const ParticleSet& p,
 template <typename T>
 const std::byte* read_column(const std::byte* src, std::vector<T>& dst,
                              std::size_t base, std::size_t n) {
+  if (n == 0) return src;  // empty vectors may have null data()
   std::memcpy(dst.data() + base, src, n * sizeof(T));
   return src + n * sizeof(T);
 }
@@ -179,6 +181,7 @@ ParticleSet parallel_sort_by_id(mpi::Comm& comm, const ParticleSet& mine) {
   std::vector<std::int64_t> all_samples;
   for (const auto& b : all_samples_raw) {
     std::size_t n = b.size() / sizeof(std::int64_t);
+    if (n == 0) continue;  // empty vectors may have null data()
     std::size_t base = all_samples.size();
     all_samples.resize(base + n);
     std::memcpy(all_samples.data() + base, b.data(), b.size());

@@ -89,6 +89,7 @@ void Catalog::learn_from_trace(const trace::IoTracer& tracer) {
   };
   std::map<std::string, PerFile> by_file;
   for (const trace::IoEvent& e : tracer.events()) {
+    if (!e.is_data()) continue;  // opens/closes carry no access pattern
     by_file[e.path].events.push_back(&e);
   }
   for (auto& [path, pf] : by_file) {

@@ -5,34 +5,52 @@ namespace paramrio::pfs {
 int FileSystem::open(const std::string& path, OpenMode mode) {
   if (mode == OpenMode::kCreate) {
     store_.create(path);
+    // Truncation invalidates any cached pages of a previous file generation
+    // at this path (same stale-cache hazard as remove()).
+    cache_.erase(path);
   } else if (!store_.exists(path)) {
     throw IoError("open(" + path + "): no such file on " + name());
   }
   int fd = next_fd_++;
   open_files_[fd] = OpenFile{path, mode != OpenMode::kRead};
   if (sim::in_simulation()) {
+    sim::Proc& proc = sim::current_proc();
+    if (observer_ != nullptr) {
+      observer_->on_open(proc.now(), proc.rank(), path, mode, fd);
+    }
     double cost = metadata_cost();
-    if (cost > 0.0) sim::current_proc().advance(cost, sim::TimeCategory::kIo);
+    if (cost > 0.0) proc.advance(cost, sim::TimeCategory::kIo);
   }
   return fd;
 }
 
 void FileSystem::close(int fd) {
-  descriptor(fd);  // validates
+  const std::string path = descriptor(fd, "close").path;
   open_files_.erase(fd);
   if (sim::in_simulation()) {
+    sim::Proc& proc = sim::current_proc();
+    if (observer_ != nullptr) {
+      observer_->on_close(proc.now(), proc.rank(), path, fd);
+    }
     double cost = metadata_cost();
-    if (cost > 0.0) sim::current_proc().advance(cost, sim::TimeCategory::kIo);
+    if (cost > 0.0) proc.advance(cost, sim::TimeCategory::kIo);
   }
 }
 
 std::uint64_t FileSystem::size(int fd) const {
-  return store_.size(descriptor(fd).path);
+  return store_.size(descriptor(fd, "size").path);
 }
 
 void FileSystem::read_at(int fd, std::uint64_t offset,
                          std::span<std::byte> out) {
-  const OpenFile& f = descriptor(fd);
+  const OpenFile& f = descriptor(fd, "read_at");
+  std::uint64_t file_size = store_.size(f.path);
+  if (offset + out.size() > file_size) {
+    throw IoError("read_at(" + f.path + ", fd " + std::to_string(fd) +
+                  "): range [" + std::to_string(offset) + ", " +
+                  std::to_string(offset + out.size()) + ") past EOF " +
+                  std::to_string(file_size) + " on " + name());
+  }
   store_.read_at(f.path, offset, out);
   if (!sim::in_simulation()) return;  // untimed setup access
   sim::Proc& proc = sim::current_proc();
@@ -40,7 +58,7 @@ void FileSystem::read_at(int fd, std::uint64_t offset,
   proc.stats().io_requests += 1;
   if (observer_ != nullptr) {
     observer_->on_io(proc.now(), proc.rank(), /*is_write=*/false, f.path,
-                     offset, out.size());
+                     offset, out.size(), fd);
   }
   if (cache_enabled_ && !out.empty()) {
     Intervals& iv = cache_[f.path];
@@ -57,7 +75,7 @@ void FileSystem::read_at(int fd, std::uint64_t offset,
 
 void FileSystem::write_at(int fd, std::uint64_t offset,
                           std::span<const std::byte> data) {
-  const OpenFile& f = descriptor(fd);
+  const OpenFile& f = descriptor(fd, "write_at");
   if (!f.writable) throw IoError("write to read-only descriptor: " + f.path);
   store_.write_at(f.path, offset, data);
   if (!sim::in_simulation()) return;  // untimed setup access
@@ -66,7 +84,7 @@ void FileSystem::write_at(int fd, std::uint64_t offset,
   proc.stats().io_requests += 1;
   if (observer_ != nullptr) {
     observer_->on_io(proc.now(), proc.rank(), /*is_write=*/true, f.path,
-                     offset, data.size());
+                     offset, data.size(), fd);
   }
   if (cache_enabled_ && !data.empty()) {
     cache_insert(cache_[f.path], offset, data.size());
@@ -102,10 +120,12 @@ void FileSystem::cache_insert(Intervals& iv, std::uint64_t off,
   iv[lo] = hi;
 }
 
-const FileSystem::OpenFile& FileSystem::descriptor(int fd) const {
+const FileSystem::OpenFile& FileSystem::descriptor(int fd,
+                                                   const char* op) const {
   auto it = open_files_.find(fd);
   if (it == open_files_.end()) {
-    throw IoError("bad file descriptor " + std::to_string(fd));
+    throw IoError(std::string(op) + ": bad file descriptor " +
+                  std::to_string(fd) + " on " + name());
   }
   return it->second;
 }

@@ -18,20 +18,33 @@
 
 namespace paramrio::pfs {
 
+enum class OpenMode {
+  kRead,       ///< existing file, read-only
+  kCreate,     ///< create or truncate, read-write
+  kReadWrite,  ///< existing file, read-write
+};
+
 /// Observer hook for I/O tracing: receives every data request a FileSystem
-/// serves (see trace::IoTracer for the standard implementation).
+/// serves plus descriptor-lifecycle events (see trace::IoTracer for the
+/// standard implementation and check::IoChecker for the correctness
+/// analyzer).  Like all timing, observation only happens inside the
+/// simulation; untimed setup accesses are invisible.
 class IoObserver {
  public:
   virtual ~IoObserver() = default;
   virtual void on_io(double time, int rank, bool is_write,
                      const std::string& path, std::uint64_t offset,
-                     std::uint64_t bytes) = 0;
-};
-
-enum class OpenMode {
-  kRead,       ///< existing file, read-only
-  kCreate,     ///< create or truncate, read-write
-  kReadWrite,  ///< existing file, read-write
+                     std::uint64_t bytes, int fd) = 0;
+  /// Descriptor lifecycle; default no-op so throughput-only observers need
+  /// not care.
+  virtual void on_open(double time, int rank, const std::string& path,
+                       OpenMode mode, int fd) {
+    (void)time, (void)rank, (void)path, (void)mode, (void)fd;
+  }
+  virtual void on_close(double time, int rank, const std::string& path,
+                        int fd) {
+    (void)time, (void)rank, (void)path, (void)fd;
+  }
 };
 
 class FileSystem {
@@ -47,7 +60,13 @@ class FileSystem {
   void close(int fd);
 
   bool exists(const std::string& path) const { return store_.exists(path); }
-  void remove(const std::string& path) { store_.remove(path); }
+
+  /// Remove a file, dropping any of its cached pages so a later file created
+  /// at the same path cannot see stale cache hits.
+  void remove(const std::string& path) {
+    cache_.erase(path);
+    store_.remove(path);
+  }
 
   std::uint64_t size(int fd) const;
 
@@ -101,7 +120,7 @@ class FileSystem {
     std::string path;
     bool writable = false;
   };
-  const OpenFile& descriptor(int fd) const;
+  const OpenFile& descriptor(int fd, const char* op) const;
 
   /// Merged resident intervals per file (offset -> end).
   using Intervals = std::map<std::uint64_t, std::uint64_t>;

@@ -8,8 +8,40 @@ namespace paramrio::trace {
 
 void IoTracer::record(double time, int rank, bool is_write,
                       const std::string& path, std::uint64_t offset,
-                      std::uint64_t bytes) {
-  events_.push_back(IoEvent{time, rank, is_write, path, offset, bytes});
+                      std::uint64_t bytes, int fd) {
+  IoEvent e;
+  e.time = time;
+  e.rank = rank;
+  e.is_write = is_write;
+  e.op = is_write ? IoOp::kWrite : IoOp::kRead;
+  e.path = path;
+  e.offset = offset;
+  e.bytes = bytes;
+  e.fd = fd;
+  events_.push_back(std::move(e));
+}
+
+void IoTracer::record_open(double time, int rank, const std::string& path,
+                           pfs::OpenMode mode, int fd) {
+  IoEvent e;
+  e.time = time;
+  e.rank = rank;
+  e.op = IoOp::kOpen;
+  e.path = path;
+  e.fd = fd;
+  e.mode = mode;
+  events_.push_back(std::move(e));
+}
+
+void IoTracer::record_close(double time, int rank, const std::string& path,
+                            int fd) {
+  IoEvent e;
+  e.time = time;
+  e.rank = rank;
+  e.op = IoOp::kClose;
+  e.path = path;
+  e.fd = fd;
+  events_.push_back(std::move(e));
 }
 
 void IoTracer::clear() { events_.clear(); }
@@ -35,20 +67,28 @@ TraceReport IoTracer::analyze() const {
 
   bool first = true;
   for (const IoEvent& e : events_) {
+    files.insert(e.path);
+    ranks.insert(e.rank);
+    if (first) {
+      r.first_time = e.time;
+      first = false;
+    }
+    r.last_time = std::max(r.last_time, e.time);
+    if (e.op == IoOp::kOpen) {
+      r.opens += 1;
+      continue;
+    }
+    if (e.op == IoOp::kClose) {
+      r.closes += 1;
+      continue;
+    }
     DirectionStats& d = e.is_write ? r.writes : r.reads;
     d.requests += 1;
     d.bytes += e.bytes;
     d.min_request = d.requests == 1 ? e.bytes : std::min(d.min_request, e.bytes);
     d.max_request = std::max(d.max_request, e.bytes);
     d.size_histogram[size_bucket(e.bytes)] += 1;
-    files.insert(e.path);
-    ranks.insert(e.rank);
     r.per_file_bytes[e.path] += e.bytes;
-    if (first) {
-      r.first_time = e.time;
-      first = false;
-    }
-    r.last_time = std::max(r.last_time, e.time);
 
     auto key = std::make_tuple(e.rank, e.path, e.is_write);
     auto it = prev_end.find(key);
@@ -99,6 +139,9 @@ std::string IoTracer::format_report(const std::string& title) const {
   os << "  span: " << r.first_time << " .. " << r.last_time
      << " virtual s, " << r.ranks_active << " ranks, " << r.files_touched
      << " files\n";
+  if (r.opens > 0 || r.closes > 0) {
+    os << "  metadata: " << r.opens << " opens, " << r.closes << " closes\n";
+  }
   format_direction(os, "reads ", r.reads);
   format_direction(os, "writes", r.writes);
   return os.str();

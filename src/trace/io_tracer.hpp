@@ -21,13 +21,22 @@
 
 namespace paramrio::trace {
 
+/// What a trace record describes: a data request or a descriptor-lifecycle
+/// event (the latter drive check::IoChecker's fd-lifecycle analysis).
+enum class IoOp : std::uint8_t { kRead, kWrite, kOpen, kClose };
+
 struct IoEvent {
   double time = 0.0;  ///< virtual time at issue
   int rank = -1;
-  bool is_write = false;
+  bool is_write = false;  ///< data direction (meaningful when is_data())
+  IoOp op = IoOp::kRead;
   std::string path;
   std::uint64_t offset = 0;
   std::uint64_t bytes = 0;
+  int fd = -1;                                ///< descriptor used, -1 unknown
+  pfs::OpenMode mode = pfs::OpenMode::kRead;  ///< for kOpen events
+
+  bool is_data() const { return op == IoOp::kRead || op == IoOp::kWrite; }
 };
 
 /// Per-direction request statistics.
@@ -52,6 +61,8 @@ struct DirectionStats {
 struct TraceReport {
   DirectionStats reads;
   DirectionStats writes;
+  std::uint64_t opens = 0;   ///< descriptor-lifecycle events in the trace
+  std::uint64_t closes = 0;
   std::uint64_t files_touched = 0;
   std::uint64_t ranks_active = 0;
   double first_time = 0.0;
@@ -62,13 +73,26 @@ struct TraceReport {
 
 class IoTracer final : public pfs::IoObserver {
  public:
-  /// Called by an attached FileSystem for every data request.
+  /// Record one data request (fd optional for hand-built traces).
   void record(double time, int rank, bool is_write, const std::string& path,
-              std::uint64_t offset, std::uint64_t bytes);
+              std::uint64_t offset, std::uint64_t bytes, int fd = -1);
+
+  /// Record descriptor-lifecycle events.
+  void record_open(double time, int rank, const std::string& path,
+                   pfs::OpenMode mode, int fd);
+  void record_close(double time, int rank, const std::string& path, int fd);
 
   void on_io(double time, int rank, bool is_write, const std::string& path,
-             std::uint64_t offset, std::uint64_t bytes) override {
-    record(time, rank, is_write, path, offset, bytes);
+             std::uint64_t offset, std::uint64_t bytes, int fd) override {
+    record(time, rank, is_write, path, offset, bytes, fd);
+  }
+  void on_open(double time, int rank, const std::string& path,
+               pfs::OpenMode mode, int fd) override {
+    record_open(time, rank, path, mode, fd);
+  }
+  void on_close(double time, int rank, const std::string& path,
+                int fd) override {
+    record_close(time, rank, path, fd);
   }
 
   void clear();

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "amr/particles_par.hpp"
+#include "check/io_checker.hpp"
 #include "enzo/backends.hpp"
 #include "enzo/dump_common.hpp"
 #include "enzo/simulation.hpp"
@@ -140,6 +141,10 @@ class BackendSweep
 TEST_P(BackendSweep, DumpRestartRoundTripIsExact) {
   auto [kind, p] = GetParam();
   pfs::LocalFs fs(pfs::LocalFsParams{});
+  check::CheckOptions copts;
+  copts.padding_alignment = 4096;  // pnetcdf aligns its data region
+  check::IoChecker checker(copts);
+  fs.attach_observer(&checker);
   mpi::Runtime rt(rparams(p));
   std::vector<SimulationState> originals(static_cast<std::size_t>(p));
 
@@ -148,10 +153,14 @@ TEST_P(BackendSweep, DumpRestartRoundTripIsExact) {
     EnzoSimulation sim(c, small_config());
     sim.initialize_from_universe();
     sim.evolve_cycle();
+    if (c.rank() == 0) checker.begin_phase("dump");
+    c.barrier();
     backend->write_dump(c, sim.state(), "dump");
     originals[static_cast<std::size_t>(c.rank())] = sim.state();
 
     // Fresh state, restart from the dump.
+    if (c.rank() == 0) checker.begin_phase("restart");
+    c.barrier();
     EnzoSimulation sim2(c, small_config());
     backend->read_restart(c, sim2.state(), "dump");
     const SimulationState& orig =
@@ -180,19 +189,35 @@ TEST_P(BackendSweep, DumpRestartRoundTripIsExact) {
       }
     }
   });
+  // The whole dump+restart must audit clean: no cross-rank write conflicts,
+  // holes, reads of never-written bytes, or descriptor-lifecycle bugs.
+  check::CheckReport audit = checker.analyze(&fs.store());
+  EXPECT_TRUE(audit.clean()) << audit.format();
+  EXPECT_EQ(audit.count(check::Kind::kWriteConflict), 0u);
+  EXPECT_EQ(audit.count(check::Kind::kHole), 0u);
+  EXPECT_EQ(audit.count(check::Kind::kReadBeforeWrite), 0u);
+  EXPECT_EQ(audit.count(check::Kind::kFdLeak), 0u);
 }
 
 TEST_P(BackendSweep, InitialReadPartitionsEveryGrid) {
   auto [kind, p] = GetParam();
   pfs::LocalFs fs(pfs::LocalFsParams{});
+  check::CheckOptions copts;
+  copts.padding_alignment = 4096;  // pnetcdf aligns its data region
+  check::IoChecker checker(copts);
+  fs.attach_observer(&checker);
   mpi::Runtime rt(rparams(p));
   rt.run([&](mpi::Comm& c) {
     auto backend = make_backend(kind, fs);
     EnzoSimulation sim(c, small_config());
     sim.initialize_from_universe();
     std::size_t n_subgrids = sim.state().hierarchy.grid_count() - 1;
+    if (c.rank() == 0) checker.begin_phase("dump");
+    c.barrier();
     backend->write_dump(c, sim.state(), "init");
 
+    if (c.rank() == 0) checker.begin_phase("initial-read");
+    c.barrier();
     EnzoSimulation fresh(c, small_config());
     backend->read_initial(c, fresh.state(), "init");
     const SimulationState& s = fresh.state();
@@ -216,6 +241,8 @@ TEST_P(BackendSweep, InitialReadPartitionsEveryGrid) {
       EXPECT_EQ(piece.fields[0], expect.fields[0]);
     }
   });
+  check::CheckReport audit = checker.analyze(&fs.store());
+  EXPECT_TRUE(audit.clean()) << audit.format();
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -103,6 +103,82 @@ TEST(LocalFs, CreateTruncatesExisting) {
   });
 }
 
+TEST(LocalFs, CloseUnknownFdThrowsWithContext) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Engine::run(opts(1), [&](Proc&) {
+    try {
+      fs.close(77);
+      FAIL() << "close(77) should throw";
+    } catch (const IoError& e) {
+      std::string what = e.what();
+      EXPECT_NE(what.find("close"), std::string::npos) << what;
+      EXPECT_NE(what.find("77"), std::string::npos) << what;
+      EXPECT_NE(what.find("xfs"), std::string::npos) << what;
+    }
+  });
+}
+
+TEST(LocalFs, ReadPastEofThrowsWithContext) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Engine::run(opts(1), [&](Proc&) {
+    int fd = fs.open("short", OpenMode::kCreate);
+    fs.write_at(fd, 0, pattern(100));
+    std::vector<std::byte> out(50);
+    fs.read_at(fd, 50, out);  // exactly at EOF: fine
+    try {
+      fs.read_at(fd, 51, out);
+      FAIL() << "read past EOF should throw";
+    } catch (const IoError& e) {
+      std::string what = e.what();
+      EXPECT_NE(what.find("short"), std::string::npos) << what;
+      EXPECT_NE(what.find("EOF"), std::string::npos) << what;
+      EXPECT_NE(what.find(std::to_string(fd)), std::string::npos) << what;
+    }
+    fs.close(fd);
+  });
+}
+
+// Regression: remove() used to leave the removed path's cached intervals in
+// the buffer-cache model, so a file re-created at the same path saw false
+// cache hits for data the new file never touched.
+TEST(LocalFs, RemoveDropsCachedIntervals) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});  // LocalFs enables the cache
+  Engine::run(opts(1), [&](Proc&) {
+    int fd = fs.open("f", OpenMode::kCreate);
+    fs.write_at(fd, 0, pattern(4096));  // populates cache [0, 4096)
+    fs.close(fd);
+    fs.remove("f");
+
+    // New file at the same path: [0, 4096) is zero-fill the new file never
+    // wrote, but the old file's cached interval covered it.
+    int fd2 = fs.open("f", OpenMode::kCreate);
+    fs.write_at(fd2, 8192, pattern(100));  // zero-fills [0, 8192), uncached
+    std::uint64_t hits_before = fs.cache_hits();
+    std::vector<std::byte> out(2048);
+    fs.read_at(fd2, 0, out);
+    EXPECT_EQ(fs.cache_hits(), hits_before);  // must be a miss
+    fs.close(fd2);
+  });
+}
+
+// The same stale-cache hazard via open(kCreate) truncation instead of
+// remove().
+TEST(LocalFs, CreateTruncationDropsCachedIntervals) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Engine::run(opts(1), [&](Proc&) {
+    int fd = fs.open("f", OpenMode::kCreate);
+    fs.write_at(fd, 0, pattern(4096));  // caches [0, 4096)
+    fs.close(fd);
+    int fd2 = fs.open("f", OpenMode::kCreate);  // truncates
+    fs.write_at(fd2, 4096, pattern(100));       // zero-fills [0, 4096)
+    std::uint64_t hits_before = fs.cache_hits();
+    std::vector<std::byte> out(1024);
+    fs.read_at(fd2, 0, out);
+    EXPECT_EQ(fs.cache_hits(), hits_before);  // stale interval must be gone
+    fs.close(fd2);
+  });
+}
+
 TEST(LocalFs, ConcurrentDisjointAccessScalesAcrossDisks) {
   // One proc writing 8 MB vs 8 procs writing 1 MB each to disjoint stripes:
   // the striped volume should serve the parallel case faster than 8x serial.

@@ -36,17 +36,25 @@ TEST(IoTracer, RecordsAttachedFileSystemTraffic) {
       fs.close(fd);
     }
   });
-  ASSERT_EQ(tracer.events().size(), 3u);
-  EXPECT_TRUE(tracer.events()[0].is_write);
-  EXPECT_EQ(tracer.events()[0].rank, 0);
-  EXPECT_FALSE(tracer.events()[2].is_write);
-  EXPECT_EQ(tracer.events()[2].rank, 1);
-  EXPECT_EQ(tracer.events()[2].bytes, 500u);
+  // 3 data requests plus 2 opens and 2 closes (descriptor lifecycle).
+  ASSERT_EQ(tracer.events().size(), 7u);
+  std::vector<trace::IoEvent> data_events;
+  for (const trace::IoEvent& e : tracer.events()) {
+    if (e.is_data()) data_events.push_back(e);
+  }
+  ASSERT_EQ(data_events.size(), 3u);
+  EXPECT_TRUE(data_events[0].is_write);
+  EXPECT_EQ(data_events[0].rank, 0);
+  EXPECT_FALSE(data_events[2].is_write);
+  EXPECT_EQ(data_events[2].rank, 1);
+  EXPECT_EQ(data_events[2].bytes, 500u);
 
   auto r = tracer.analyze();
   EXPECT_EQ(r.writes.requests, 2u);
   EXPECT_EQ(r.writes.bytes, 2000u);
   EXPECT_EQ(r.reads.requests, 1u);
+  EXPECT_EQ(r.opens, 2u);
+  EXPECT_EQ(r.closes, 2u);
   EXPECT_EQ(r.files_touched, 1u);
   EXPECT_EQ(r.ranks_active, 2u);
   EXPECT_EQ(r.per_file_bytes.at("a"), 2500u);
@@ -66,7 +74,11 @@ TEST(IoTracer, DetachStopsRecording) {
     fs.write_at(fd, 10, data);
     fs.close(fd);
   });
-  EXPECT_EQ(tracer.events().size(), 1u);
+  // One open and one write before the detach; nothing after.
+  EXPECT_EQ(tracer.events().size(), 2u);
+  auto r = tracer.analyze();
+  EXPECT_EQ(r.writes.requests, 1u);
+  EXPECT_EQ(r.closes, 0u);
 }
 
 TEST(IoTracer, SizeHistogramBuckets) {
@@ -81,6 +93,88 @@ TEST(IoTracer, SizeHistogramBuckets) {
   EXPECT_EQ(r.writes.size_histogram[16], 1u);
   EXPECT_EQ(r.writes.min_request, 1u);
   EXPECT_EQ(r.writes.max_request, 65536u);
+}
+
+TEST(IoTracer, SizeHistogramBucketBoundaries) {
+  trace::IoTracer t;
+  t.record(0.0, 0, true, "f", 0, 0);  // size 0 -> bucket 0
+  t.record(0.0, 0, true, "f", 0, 1);  // size 1 -> bucket 0
+  t.record(0.0, 0, true, "f", 0, 2);  // exactly 2^1 -> bucket 1
+  t.record(0.0, 0, true, "f", 0, 3);  // floor(log2 3) = 1
+  t.record(0.0, 0, true, "f", 0, 4);  // exactly 2^2 -> bucket 2
+  t.record(0.0, 0, true, "f", 0, (1ull << 20));      // exactly 2^20
+  t.record(0.0, 0, true, "f", 0, (1ull << 20) - 1);  // bucket 19
+  t.record(0.0, 0, true, "f", 0, (1ull << 20) + 1);  // bucket 20
+  auto r = t.analyze();
+  EXPECT_EQ(r.writes.size_histogram[0], 2u);
+  EXPECT_EQ(r.writes.size_histogram[1], 2u);
+  EXPECT_EQ(r.writes.size_histogram[2], 1u);
+  EXPECT_EQ(r.writes.size_histogram[19], 1u);
+  EXPECT_EQ(r.writes.size_histogram[20], 2u);
+  EXPECT_EQ(r.writes.min_request, 0u);
+  EXPECT_EQ(r.writes.max_request, (1ull << 20) + 1);
+}
+
+TEST(IoTracer, SequentialFractionIsPerRankAcrossInterleavedRanks) {
+  trace::IoTracer t;
+  // Two ranks interleaved in time, each strictly sequential in its own half
+  // of the file.  Globally the offsets jump around, but sequentiality is
+  // tracked per (rank, file): 2 of 4 requests extend the same rank's
+  // previous one.
+  t.record(0.0, 0, true, "f", 0, 100);
+  t.record(0.1, 1, true, "f", 1000, 100);
+  t.record(0.2, 0, true, "f", 100, 100);
+  t.record(0.3, 1, true, "f", 1100, 100);
+  auto r = t.analyze();
+  EXPECT_DOUBLE_EQ(r.writes.sequential_fraction, 0.5);
+  // Reads are tracked separately from writes.
+  t.record(0.4, 0, false, "f", 200, 100);  // not adjacent to any prior READ
+  t.record(0.5, 0, false, "f", 300, 100);  // adjacent to the previous read
+  r = t.analyze();
+  EXPECT_DOUBLE_EQ(r.reads.sequential_fraction, 0.5);
+}
+
+TEST(IoTracer, ClearResetsAllStatistics) {
+  trace::IoTracer t;
+  t.record(1.0, 2, true, "f", 0, 4096);
+  t.record_open(1.1, 2, "g", pfs::OpenMode::kCreate, 5);
+  ASSERT_EQ(t.events().size(), 2u);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  auto r = t.analyze();
+  EXPECT_EQ(r.reads.requests, 0u);
+  EXPECT_EQ(r.writes.requests, 0u);
+  EXPECT_EQ(r.writes.bytes, 0u);
+  EXPECT_EQ(r.opens, 0u);
+  EXPECT_EQ(r.files_touched, 0u);
+  EXPECT_EQ(r.ranks_active, 0u);
+  EXPECT_DOUBLE_EQ(r.first_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.last_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.writes.sequential_fraction, 0.0);
+}
+
+TEST(IoTracer, LifecycleEventsAreRecordedButNotCountedAsData) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  trace::IoTracer tracer;
+  fs.attach_observer(&tracer);
+  sim::Engine::run(opts(1), [&](sim::Proc&) {
+    int fd = fs.open("a", pfs::OpenMode::kCreate);
+    std::vector<std::byte> data(100);
+    fs.write_at(fd, 0, data);
+    fs.close(fd);
+  });
+  ASSERT_EQ(tracer.events().size(), 3u);  // open, write, close
+  EXPECT_EQ(tracer.events()[0].op, trace::IoOp::kOpen);
+  EXPECT_EQ(tracer.events()[0].mode, pfs::OpenMode::kCreate);
+  EXPECT_EQ(tracer.events()[1].op, trace::IoOp::kWrite);
+  EXPECT_EQ(tracer.events()[1].fd, tracer.events()[0].fd);
+  EXPECT_EQ(tracer.events()[2].op, trace::IoOp::kClose);
+  auto r = tracer.analyze();
+  EXPECT_EQ(r.opens, 1u);
+  EXPECT_EQ(r.closes, 1u);
+  EXPECT_EQ(r.writes.requests, 1u);  // lifecycle events are not data
+  EXPECT_EQ(r.writes.bytes, 100u);
+  EXPECT_EQ(r.writes.min_request, 100u);  // open's size-0 doesn't pollute
 }
 
 TEST(IoTracer, FormatReportMentionsKeyNumbers) {
