@@ -29,9 +29,13 @@ std::unique_ptr<enzo::IoBackend> make_backend(const RunSpec& spec,
       return std::make_unique<enzo::Hdf4SerialBackend>(fs);
     case Backend::kMpiIo:
       return std::make_unique<enzo::MpiIoBackend>(fs, spec.hints);
-    case Backend::kHdf5:
-      return std::make_unique<enzo::Hdf5ParallelBackend>(fs,
-                                                         spec.hdf5_config);
+    case Backend::kHdf5: {
+      // The MPI-IO hints apply underneath HDF5 too (parallel HDF5 sits on
+      // MPI-IO); spec.hints is the single knob for all MPI-IO-based backends.
+      hdf5::FileConfig cfg = spec.hdf5_config;
+      cfg.io_hints = spec.hints;
+      return std::make_unique<enzo::Hdf5ParallelBackend>(fs, cfg);
+    }
     case Backend::kPnetcdf:
       return std::make_unique<enzo::PnetcdfBackend>(fs, spec.hints);
   }

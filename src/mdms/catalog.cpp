@@ -187,9 +187,13 @@ Advice advise(const DatasetRecord& record, const PlatformTraits& traits) {
                           "locks favour fewer writers: independent I/O with "
                           "sieving";
       // Size the collective buffer to a multiple of the stripe so windows
-      // align with servers.
+      // align with servers, and on a striped platform let the MPI-IO layer
+      // query the layout and align file domains to stripe boundaries.
       a.hints.cb_buffer_size =
           std::max<std::uint64_t>(4 * traits.stripe_size, 4 * MiB);
+      if (traits.stripe_size > 0) {
+        a.hints.cb_align = mpi::io::Hints::kCbAlignAuto;
+      }
       if (traits.shared_file_write_locks) {
         a.hints.cb_nodes = std::max(1, traits.io_parallelism / 2);
       }

@@ -140,10 +140,12 @@ void File::independent_read(const std::vector<Segment>& segs,
     return;
   }
   // Data sieving: walk the hull [first, last) in sieve-buffer windows; one
-  // contiguous read per window, then extract the wanted pieces.
-  std::vector<std::byte> sieve(hints_.ds_buffer_size);
+  // contiguous read per window, then extract the wanted pieces.  The buffer
+  // is sized to the actual hull, not the full ds_buffer_size hint.
   std::uint64_t hull_lo = segs.front().offset;
   std::uint64_t hull_hi = segs.back().offset + segs.back().length;
+  std::vector<std::byte> sieve(
+      std::min<std::uint64_t>(hints_.ds_buffer_size, hull_hi - hull_lo));
   std::size_t si = 0;           // current segment
   std::uint64_t seg_done = 0;   // bytes of segs[si] already delivered
   std::uint64_t buf_pos = 0;
@@ -209,11 +211,15 @@ void File::independent_write(const std::vector<Segment>& segs,
     if (j - i > 1 && used * 2 >= hull) {
       stats_.sieve_windows += 1;
       sieve.resize(hull);
-      // Read-modify-write: preserve existing bytes in the holes.
+      // Read-modify-write: preserve existing bytes in the holes.  Only the
+      // part of the hull that exists on disk is read, and only (read-back
+      // bytes ∪ covered segments) are written back — gaps past EOF stay
+      // unmaterialised, so a genuine hole is still a hole to the checker
+      // and to Table-1 write accounting.
       std::uint64_t fsize = fs_.size(fd_);
-      std::fill(sieve.begin(), sieve.end(), std::byte{0});
-      if (hull_lo < fsize) {
-        std::uint64_t readable = std::min(hull, fsize - hull_lo);
+      std::uint64_t readable =
+          hull_lo < fsize ? std::min(hull, fsize - hull_lo) : 0;
+      if (readable > 0) {
         fs_.read_at(fd_, hull_lo,
                     std::span<std::byte>(sieve.data(), readable));
       }
@@ -226,7 +232,28 @@ void File::independent_write(const std::vector<Segment>& segs,
         comm_.charge_memcpy(segs[k].length);
         buf_pos += segs[k].length;
       }
-      fs_.write_at(fd_, hull_lo, sieve);
+      // Merge the readable prefix with the segment intervals and write each
+      // resulting run; the dense pre-EOF case stays one hull-sized write.
+      std::uint64_t run_lo = hull_lo;
+      std::uint64_t run_hi = hull_lo + readable;
+      auto write_run = [&]() {
+        if (run_hi > run_lo) {
+          fs_.write_at(fd_, run_lo,
+                       std::span<const std::byte>(
+                           sieve.data() + (run_lo - hull_lo),
+                           run_hi - run_lo));
+        }
+      };
+      for (std::size_t k = i; k < j; ++k) {
+        if (segs[k].offset <= run_hi) {
+          run_hi = std::max(run_hi, segs[k].offset + segs[k].length);
+        } else {
+          write_run();
+          run_lo = segs[k].offset;
+          run_hi = segs[k].offset + segs[k].length;
+        }
+      }
+      write_run();
     } else {
       for (std::size_t k = i; k < j; ++k) {
         fs_.write_at(fd_, segs[k].offset,

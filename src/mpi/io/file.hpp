@@ -32,8 +32,20 @@
 namespace paramrio::mpi::io {
 
 struct Hints {
+  /// cb_align == kCbAlignAuto: query the file system's Layout and align
+  /// collective-buffering file domains to its stripe size (and, when
+  /// cb_nodes == 0 on a striped fs, assign at most one aggregator domain per
+  /// I/O server, cyclically by stripe).
+  static constexpr std::uint64_t kCbAlignAuto = 0;
+
   std::uint64_t cb_buffer_size = 4 * MiB;  ///< two-phase window per aggregator
   int cb_nodes = 0;                        ///< aggregator count; 0 = all ranks
+  /// File-domain / window alignment for two-phase collective I/O, in bytes.
+  /// 1 (default) reproduces classic ROMIO: domains are equal byte shares of
+  /// the aggregate hull, oblivious to striping — the Figure-7 pathology.
+  /// kCbAlignAuto (0) asks the fs; any other value aligns domain boundaries
+  /// and per-iteration windows to that many bytes.
+  std::uint64_t cb_align = 1;
   std::uint64_t ds_buffer_size = 4 * MiB;  ///< data-sieving buffer
   bool data_sieving_reads = true;
   bool data_sieving_writes = true;
@@ -56,6 +68,29 @@ struct FileStats {
   std::uint64_t two_phase_windows = 0;
   std::uint64_t wb_flushes = 0;   ///< write-behind buffer flushes
   std::uint64_t wb_absorbed = 0;  ///< writes absorbed into the buffer
+
+  /// Collective calls resolved without any two-phase window: the aggregate
+  /// request was empty, or per-rank hulls did not interleave and the call
+  /// fell back to independent access.
+  std::uint64_t collective_fastpath = 0;
+  /// Two-phase windows whose boundaries all fell on the underlying stripe
+  /// grid (or on the aggregate hull edge).  Counted only when the fs reports
+  /// a stripe layout, regardless of cb_align, so an unaligned baseline shows
+  /// its straddling windows.
+  std::uint64_t cb_aligned_windows = 0;
+  /// Two-phase windows with at least one boundary strictly inside a stripe:
+  /// each such boundary splits the stripe between two aggregators (two
+  /// server requests, and write-token false sharing on GPFS).
+  std::uint64_t cb_straddle_windows = 0;
+  /// Write windows that stripe alignment kept from sharing a boundary
+  /// stripe with a neighbouring aggregator — an estimate of the write-token
+  /// acquisitions the alignment avoided.  Only counted while cb_align is
+  /// active (resolved alignment > 1).
+  std::uint64_t cb_token_saves = 0;
+  /// High-water mark of this rank's collective-buffer allocation; with the
+  /// window sized to the actual data hull this stays well under
+  /// cb_buffer_size for small requests.
+  std::uint64_t cb_peak_window_bytes = 0;
 };
 
 class File {

@@ -1,5 +1,23 @@
 // Two-phase collective I/O (ROMIO's strategy) for File::read_at_all and
-// File::write_at_all.
+// File::write_at_all, with optional layout-aware file domains.
+//
+// Domain assignment runs in one of two modes:
+//
+//  * block mode — the aggregate hull [st, end) is cut into equal per-
+//    aggregator byte shares; with Hints::cb_align == 1 (the default) this is
+//    the classic 2002 ROMIO partitioning, oblivious to striping.  A larger
+//    cb_align rounds the domain boundaries and the per-iteration window
+//    stride to that many bytes, so windows stop straddling stripes.
+//  * cyclic mode — when cb_align is auto, the fs reports a stripe layout and
+//    cb_nodes == 0, each I/O server gets at most one aggregator: aggregator
+//    `a` owns exactly the stripes living on the servers with
+//    `server % naggr == a`.  Every window then moves whole stripes bound for
+//    a single aggregator's servers, so a shared-file write acquires each
+//    stripe's write token once, on one client, per open — the repair for the
+//    paper's Figure-7 GPFS pathology.
+//
+// Both sides of every exchange (aggregators packing, requesters matching)
+// derive identical window ranges from the shared DomainGeometry.
 #include <algorithm>
 #include <cstring>
 
@@ -87,6 +105,112 @@ std::vector<Segment> union_runs(const std::vector<Piece>& pieces) {
   return runs;
 }
 
+/// One contiguous file range of an aggregator's window, plus where its first
+/// byte sits in the aggregator's collective buffer.
+struct WindowRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t buf_base = 0;
+};
+
+struct DomainGeometry {
+  bool cyclic = false;
+  std::uint64_t st = 0;
+  std::uint64_t end = 0;
+  int naggr = 1;
+  std::uint64_t ntimes = 0;
+  std::uint64_t align = 1;  ///< resolved alignment (block mode)
+  // block mode
+  std::uint64_t base = 0;   ///< st rounded down to `align`
+  std::uint64_t share = 0;  ///< per-aggregator domain size, multiple of align
+  std::uint64_t step = 0;   ///< window stride, multiple of align
+  // cyclic mode
+  std::uint64_t ss = 0;     ///< stripe size
+  std::uint64_t spw = 0;    ///< stripes per window
+  std::vector<std::vector<std::uint64_t>> stripes;  ///< ascending, per aggr
+
+  /// The disjoint ascending file ranges aggregator `a` touches in iteration
+  /// `t` (empty when it sits this one out), with packed buffer bases.
+  void window_ranges(int a, std::uint64_t t,
+                     std::vector<WindowRange>& out) const {
+    out.clear();
+    if (cyclic) {
+      const auto& list = stripes[static_cast<std::size_t>(a)];
+      const std::uint64_t b = t * spw;
+      const std::uint64_t e =
+          std::min<std::uint64_t>(list.size(), b + spw);
+      std::uint64_t wbase = 0;
+      for (std::uint64_t k = b; k < e; ++k) {
+        const std::uint64_t lo = std::max(st, list[k] * ss);
+        const std::uint64_t hi = std::min(end, (list[k] + 1) * ss);
+        if (lo >= hi) continue;
+        out.push_back(WindowRange{lo, hi, wbase});
+        wbase += hi - lo;
+      }
+    } else {
+      const std::uint64_t d0 = base + static_cast<std::uint64_t>(a) * share;
+      const std::uint64_t d_lo = std::max(st, d0);
+      const std::uint64_t d_hi = std::min(end, d0 + share);
+      if (d_lo >= d_hi) return;
+      const std::uint64_t w_lo = std::max(d_lo, d0 + t * step);
+      const std::uint64_t w_hi = std::min(d_hi, d0 + (t + 1) * step);
+      if (w_lo < w_hi) out.push_back(WindowRange{w_lo, w_hi, 0});
+    }
+  }
+
+  std::uint64_t extent(const std::vector<WindowRange>& ranges) const {
+    std::uint64_t n = 0;
+    for (const WindowRange& r : ranges) n += r.hi - r.lo;
+    return n;
+  }
+};
+
+DomainGeometry make_geometry(std::uint64_t st, std::uint64_t end,
+                             const Hints& hints, const pfs::Layout& layout,
+                             int p) {
+  DomainGeometry g;
+  g.st = st;
+  g.end = end;
+  const bool auto_align = hints.cb_align == Hints::kCbAlignAuto;
+  g.align = auto_align ? (layout.striped() ? layout.stripe_size : 1)
+                       : hints.cb_align;
+  if (g.align == 0) g.align = 1;
+  g.cyclic = auto_align && layout.striped() && hints.cb_nodes == 0;
+  if (g.cyclic) {
+    g.ss = layout.stripe_size;
+    g.naggr = std::min(p, layout.n_servers);
+    g.spw = std::max<std::uint64_t>(1, hints.cb_buffer_size / g.ss);
+    g.stripes.resize(static_cast<std::size_t>(g.naggr));
+    const std::uint64_t s_lo = st / g.ss;
+    const std::uint64_t s_hi = (end + g.ss - 1) / g.ss;
+    const auto ns = static_cast<std::uint64_t>(layout.n_servers);
+    const auto fs0 = static_cast<std::uint64_t>(layout.first_server);
+    for (std::uint64_t s = s_lo; s < s_hi; ++s) {
+      const std::uint64_t server = (s + fs0) % ns;
+      g.stripes[static_cast<std::size_t>(
+                    server % static_cast<std::uint64_t>(g.naggr))]
+          .push_back(s);
+    }
+    std::uint64_t longest = 0;
+    for (const auto& list : g.stripes) {
+      longest = std::max<std::uint64_t>(longest, list.size());
+    }
+    g.ntimes = (longest + g.spw - 1) / g.spw;
+  } else {
+    g.naggr = hints.cb_nodes == 0 ? p : std::min(hints.cb_nodes, p);
+    g.base = (st / g.align) * g.align;
+    const std::uint64_t span = end - g.base;
+    std::uint64_t share = (span + static_cast<std::uint64_t>(g.naggr) - 1) /
+                          static_cast<std::uint64_t>(g.naggr);
+    share = ((share + g.align - 1) / g.align) * g.align;
+    g.share = share;
+    g.step = std::max(g.align,
+                      (hints.cb_buffer_size / g.align) * g.align);
+    g.ntimes = (share + g.step - 1) / g.step;
+  }
+  return g;
+}
+
 }  // namespace
 
 void File::two_phase(bool is_write, const std::vector<Segment>& segs,
@@ -109,7 +233,12 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
     st = std::min(st, pl.front().file_off);
     end = std::max(end, pl.back().file_off + pl.back().len);
   }
-  if (end <= st) return;  // nothing to do anywhere (synchronised already)
+  if (end <= st) {
+    // Nothing to do anywhere (synchronised already) — but the collective
+    // call still happened; keep the books consistent.
+    stats_.collective_fastpath += 1;
+    return;
+  }
 
   // ---- fast path: non-interleaved requests ----------------------------
   // If per-rank hulls don't interleave, collective buffering buys nothing;
@@ -130,6 +259,7 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
       }
     }
     if (!interleaved) {
+      stats_.collective_fastpath += 1;
       if (!segs.empty()) {
         if (is_write) {
           independent_write(segs, wbuf);
@@ -143,63 +273,118 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
   }
 
   // ---- domain assignment ----------------------------------------------
-  int naggr = hints_.cb_nodes == 0 ? p : std::min(hints_.cb_nodes, p);
-  std::uint64_t span = end - st;
-  std::uint64_t share = (span + static_cast<std::uint64_t>(naggr) - 1) /
-                        static_cast<std::uint64_t>(naggr);
-  std::uint64_t ntimes = (share + hints_.cb_buffer_size - 1) /
-                         hints_.cb_buffer_size;
+  const pfs::Layout layout = fs_.layout(path_);
+  const DomainGeometry geom = make_geometry(st, end, hints_, layout, p);
   const int tag = comm_.fresh_collective_tag();
-
-  const bool i_aggregate = comm_.rank() < naggr;
-  std::uint64_t my_dom_lo = 0, my_dom_hi = 0;
-  if (i_aggregate) {
-    my_dom_lo = st + static_cast<std::uint64_t>(comm_.rank()) * share;
-    my_dom_hi = std::min(end, my_dom_lo + share);
-  }
-
+  const bool i_aggregate = comm_.rank() < geom.naggr;
   const auto& mine = pieces[static_cast<std::size_t>(comm_.rank())];
-  std::vector<std::byte> window(hints_.cb_buffer_size);
 
-  for (std::uint64_t t = 0; t < ntimes; ++t) {
-    // -- aggregator-side window bounds for this iteration
-    std::uint64_t w_lo = 0, w_hi = 0;
-    if (i_aggregate && my_dom_lo < my_dom_hi) {
-      w_lo = my_dom_lo + t * hints_.cb_buffer_size;
-      w_hi = std::min(my_dom_hi, w_lo + hints_.cb_buffer_size);
+  // Alignment bookkeeping: classify windows against the fs stripe grid
+  // whenever one is known (even with cb_align off — the unaligned baseline
+  // should show its straddling windows); token-save estimates only count
+  // while the alignment is actually active.
+  const std::uint64_t grid = layout.stripe_size;
+  const bool align_active = geom.cyclic || geom.align > 1;
+  auto classify_window = [&](const std::vector<WindowRange>& ranges) {
+    if (grid == 0) return false;
+    bool aligned = true;
+    for (const WindowRange& r : ranges) {
+      if (r.lo % grid != 0 && r.lo != st) aligned = false;
+      if (r.hi % grid != 0 && r.hi != end) aligned = false;
     }
-    const bool window_live = w_lo < w_hi;
+    if (aligned) {
+      stats_.cb_aligned_windows += 1;
+    } else {
+      stats_.cb_straddle_windows += 1;
+    }
+    return aligned;
+  };
 
+  // Clip `pl` to every range of a window, concatenated in file order —
+  // the canonical packing order both exchange sides agree on.
+  auto clip_ranges = [](const std::vector<Piece>& pl,
+                        const std::vector<WindowRange>& ranges) {
+    std::vector<Piece> out;
+    for (const WindowRange& r : ranges) {
+      auto cl = clip(pl, r.lo, r.hi);
+      out.insert(out.end(), cl.begin(), cl.end());
+    }
+    return out;
+  };
+  // Collective-buffer index of absolute file offset `off` (which must lie
+  // inside one of the window's ranges).
+  auto win_index = [](const std::vector<WindowRange>& ranges,
+                      std::uint64_t off) {
+    for (const WindowRange& r : ranges) {
+      if (off >= r.lo && off < r.hi) return r.buf_base + (off - r.lo);
+    }
+    PARAMRIO_REQUIRE(false, "two-phase: offset outside window");
+    return std::uint64_t{0};
+  };
+
+  // The collective buffer: aggregators only, sized per iteration to the
+  // window's actual data hull (never the full cb_buffer_size for small
+  // requests).
+  std::vector<std::byte> window;
+  std::vector<WindowRange> ranges;  ///< this rank's windows (aggregator)
+  std::vector<WindowRange> peer;    ///< scratch: each aggregator's windows
+
+  for (std::uint64_t t = 0; t < geom.ntimes; ++t) {
     if (!is_write) {
       // ---- READ: aggregator reads its window, distributes pieces -------
-      if (window_live) {
-        std::vector<Piece> wanted;
+      if (i_aggregate) {
+        geom.window_ranges(comm_.rank(), t, ranges);
+        std::vector<std::vector<Piece>> want(static_cast<std::size_t>(p));
+        std::uint64_t want_total = 0;
         for (int r = 0; r < p; ++r) {
-          auto cl = clip(pieces[static_cast<std::size_t>(r)], w_lo, w_hi);
-          wanted.insert(wanted.end(), cl.begin(), cl.end());
+          want[static_cast<std::size_t>(r)] =
+              clip_ranges(pieces[static_cast<std::size_t>(r)], ranges);
+          want_total += total_len(want[static_cast<std::size_t>(r)]);
         }
-        std::sort(wanted.begin(), wanted.end(),
-                  [](const Piece& a, const Piece& b) {
-                    return a.file_off < b.file_off;
-                  });
-        if (!wanted.empty()) {
+        if (want_total > 0) {
           stats_.two_phase_windows += 1;
-          std::uint64_t u_lo = wanted.front().file_off;
-          std::uint64_t u_hi = 0;
-          for (const Piece& q : wanted) {
-            u_hi = std::max(u_hi, q.file_off + q.len);
+          classify_window(ranges);
+          const std::uint64_t wbytes = geom.extent(ranges);
+          window.resize(wbytes);
+          stats_.cb_peak_window_bytes =
+              std::max(stats_.cb_peak_window_bytes, wbytes);
+          // Read each union run of wanted bytes — not the whole hull, so
+          // interior holes are never touched — clamped at EOF with a
+          // zero-fill tail (a restart may legitimately ask past the end of
+          // a short dump; MPI-IO returns zeros there, it must not fault).
+          std::vector<Piece> all;
+          for (const auto& w : want) all.insert(all.end(), w.begin(), w.end());
+          std::sort(all.begin(), all.end(),
+                    [](const Piece& a, const Piece& b) {
+                      return a.file_off < b.file_off;
+                    });
+          const std::uint64_t fsize = fs_.size(fd_);
+          for (const Segment& run : union_runs(all)) {
+            const std::uint64_t idx = win_index(ranges, run.offset);
+            const std::uint64_t run_end = run.offset + run.length;
+            const std::uint64_t readable_end =
+                std::min(run_end, std::max(fsize, run.offset));
+            if (readable_end > run.offset) {
+              fs_.read_at(fd_, run.offset,
+                          std::span<std::byte>(window.data() + idx,
+                                               readable_end - run.offset));
+            }
+            if (readable_end < run_end) {
+              std::fill_n(window.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  idx + (readable_end - run.offset)),
+                          run_end - readable_end, std::byte{0});
+            }
           }
-          // One contiguous read spanning all wanted bytes (holes included).
-          fs_.read_at(fd_, u_lo,
-                      std::span<std::byte>(window.data(), u_hi - u_lo));
           // Pack and ship each rank's share.
           for (int r = 0; r < p; ++r) {
-            auto cl = clip(pieces[static_cast<std::size_t>(r)], w_lo, w_hi);
+            const auto& cl = want[static_cast<std::size_t>(r)];
             if (cl.empty()) continue;
             Bytes out(total_len(cl));
             std::uint64_t pos = 0;
             for (const Piece& q : cl) {
-              std::memcpy(out.data() + pos, window.data() + (q.file_off - u_lo),
+              std::memcpy(out.data() + pos,
+                          window.data() + win_index(ranges, q.file_off),
                           q.len);
               pos += q.len;
             }
@@ -209,14 +394,10 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
         }
       }
       // -- requester side: receive from every aggregator that holds a piece
-      for (int a = 0; a < naggr; ++a) {
-        std::uint64_t d_lo = st + static_cast<std::uint64_t>(a) * share;
-        std::uint64_t d_hi = std::min(end, d_lo + share);
-        if (d_lo >= d_hi) continue;
-        std::uint64_t aw_lo = d_lo + t * hints_.cb_buffer_size;
-        std::uint64_t aw_hi = std::min(d_hi, aw_lo + hints_.cb_buffer_size);
-        if (aw_lo >= aw_hi) continue;
-        auto cl = clip(mine, aw_lo, aw_hi);
+      for (int a = 0; a < geom.naggr; ++a) {
+        geom.window_ranges(a, t, peer);
+        if (peer.empty()) continue;
+        auto cl = clip_ranges(mine, peer);
         if (cl.empty()) continue;
         Bytes in = comm_.recv(a, tag);
         PARAMRIO_REQUIRE(in.size() == total_len(cl),
@@ -230,14 +411,10 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
       }
     } else {
       // ---- WRITE: requesters ship pieces, aggregator assembles + writes
-      for (int a = 0; a < naggr; ++a) {
-        std::uint64_t d_lo = st + static_cast<std::uint64_t>(a) * share;
-        std::uint64_t d_hi = std::min(end, d_lo + share);
-        if (d_lo >= d_hi) continue;
-        std::uint64_t aw_lo = d_lo + t * hints_.cb_buffer_size;
-        std::uint64_t aw_hi = std::min(d_hi, aw_lo + hints_.cb_buffer_size);
-        if (aw_lo >= aw_hi) continue;
-        auto cl = clip(mine, aw_lo, aw_hi);
+      for (int a = 0; a < geom.naggr; ++a) {
+        geom.window_ranges(a, t, peer);
+        if (peer.empty()) continue;
+        auto cl = clip_ranges(mine, peer);
         if (cl.empty()) continue;
         Bytes out(total_len(cl));
         std::uint64_t pos = 0;
@@ -248,36 +425,50 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
         comm_.charge_memcpy(out.size());
         comm_.send(a, tag, out);
       }
-      if (window_live) {
-        std::vector<Piece> incoming;
-        for (int r = 0; r < p; ++r) {
-          auto cl = clip(pieces[static_cast<std::size_t>(r)], w_lo, w_hi);
-          if (cl.empty()) continue;
-          Bytes in = comm_.recv(r, tag);
-          PARAMRIO_REQUIRE(in.size() == total_len(cl),
-                           "two-phase write: piece size mismatch");
-          std::uint64_t u_base = w_lo;
-          std::uint64_t pos = 0;
-          for (const Piece& q : cl) {
-            std::memcpy(window.data() + (q.file_off - u_base), in.data() + pos,
-                        q.len);
-            pos += q.len;
+      if (i_aggregate) {
+        geom.window_ranges(comm_.rank(), t, ranges);
+        if (!ranges.empty()) {
+          std::vector<Piece> incoming;
+          bool sized = false;
+          for (int r = 0; r < p; ++r) {
+            auto cl = clip_ranges(pieces[static_cast<std::size_t>(r)], ranges);
+            if (cl.empty()) continue;
+            if (!sized) {
+              const std::uint64_t wbytes = geom.extent(ranges);
+              window.resize(wbytes);
+              stats_.cb_peak_window_bytes =
+                  std::max(stats_.cb_peak_window_bytes, wbytes);
+              sized = true;
+            }
+            Bytes in = comm_.recv(r, tag);
+            PARAMRIO_REQUIRE(in.size() == total_len(cl),
+                             "two-phase write: piece size mismatch");
+            std::uint64_t pos = 0;
+            for (const Piece& q : cl) {
+              std::memcpy(window.data() + win_index(ranges, q.file_off),
+                          in.data() + pos, q.len);
+              pos += q.len;
+            }
+            comm_.charge_memcpy(in.size());
+            incoming.insert(incoming.end(), cl.begin(), cl.end());
           }
-          comm_.charge_memcpy(in.size());
-          incoming.insert(incoming.end(), cl.begin(), cl.end());
-        }
-        if (!incoming.empty()) {
-          stats_.two_phase_windows += 1;
-          std::sort(incoming.begin(), incoming.end(),
-                    [](const Piece& a2, const Piece& b2) {
-                      return a2.file_off < b2.file_off;
-                    });
-          // Write each covered run contiguously; holes are skipped so no
-          // read-modify-write is needed.
-          for (const Segment& run : union_runs(incoming)) {
-            fs_.write_at(fd_, run.offset,
-                         std::span<const std::byte>(
-                             window.data() + (run.offset - w_lo), run.length));
+          if (!incoming.empty()) {
+            stats_.two_phase_windows += 1;
+            const bool aligned = classify_window(ranges);
+            if (aligned && align_active) stats_.cb_token_saves += 1;
+            std::sort(incoming.begin(), incoming.end(),
+                      [](const Piece& a2, const Piece& b2) {
+                        return a2.file_off < b2.file_off;
+                      });
+            // Write each covered run contiguously; holes are skipped so no
+            // read-modify-write is needed.
+            for (const Segment& run : union_runs(incoming)) {
+              fs_.write_at(
+                  fd_, run.offset,
+                  std::span<const std::byte>(
+                      window.data() + win_index(ranges, run.offset),
+                      run.length));
+            }
           }
         }
       }

@@ -24,6 +24,18 @@ enum class OpenMode {
   kReadWrite,  ///< existing file, read-write
 };
 
+/// Physical data layout of a file, as reported by the file system to
+/// layout-aware clients (ROMIO-style collective buffering queries this to
+/// align file domains to stripe boundaries).  An unstriped file system
+/// reports stripe_size == 0: offsets carry no locality information.
+struct Layout {
+  std::uint64_t stripe_size = 0;  ///< bytes per stripe unit; 0 = unstriped
+  int n_servers = 1;              ///< I/O servers the file is spread over
+  int first_server = 0;           ///< server owning stripe 0 (round-robin)
+
+  bool striped() const { return stripe_size > 0 && n_servers > 1; }
+};
+
 /// Observer hook for I/O tracing: receives every data request a FileSystem
 /// serves plus descriptor-lifecycle events (see trace::IoTracer for the
 /// standard implementation and check::IoChecker for the correctness
@@ -79,6 +91,15 @@ class FileSystem {
 
   /// Human-readable model name ("xfs", "gpfs", "pvfs", "local-disk").
   virtual std::string name() const = 0;
+
+  /// Physical layout of `path` (striping geometry).  The identity default —
+  /// stripe_size 0, one server — means "no useful locality information";
+  /// striped file systems override it so collective buffering can align
+  /// file domains to stripe and server boundaries.
+  virtual Layout layout(const std::string& path) const {
+    (void)path;
+    return {};
+  }
 
   /// Direct access to stored bytes, for tests and format validators.
   stor::ObjectStore& store() { return store_; }

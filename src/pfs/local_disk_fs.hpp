@@ -38,6 +38,14 @@ class LocalDiskFs final : public FileSystem {
 
   std::uint64_t remote_reads() const { return remote_reads_; }
 
+  /// One private disk per rank, but file offsets carry no locality (bytes
+  /// live wherever the writing rank sits), so stripe_size stays 0: clients
+  /// learn the server count without a bogus offset->server mapping.
+  Layout layout(const std::string& path) const override {
+    (void)path;
+    return {0, static_cast<int>(disks_.size()), 0};
+  }
+
   void drop_caches() override {
     FileSystem::drop_caches();
     for (auto& per_rank : page_cache_) per_rank.clear();

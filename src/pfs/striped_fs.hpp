@@ -72,6 +72,18 @@ class StripedFs final : public FileSystem {
   /// reductions from collective I/O).
   std::uint64_t total_server_requests() const;
 
+  /// Write-token transfers paid so far: the number of times a write request
+  /// touched a stripe whose token was held by a different client (tests and
+  /// the cb_align ablation assert reductions from stripe-aligned domains).
+  std::uint64_t write_token_transfers() const { return token_transfers_; }
+
+  /// Striping geometry for layout-aware clients: stripe unit, server count,
+  /// and the (per-object) server that owns stripe 0.
+  Layout layout(const std::string& path) const override {
+    return {params_.stripe_size, params_.n_io_nodes,
+            object_first_server(path, params_.n_io_nodes)};
+  }
+
  protected:
   void charge(sim::Proc& proc, const std::string& path, std::uint64_t offset,
               std::uint64_t bytes, bool is_write) override;
@@ -81,7 +93,10 @@ class StripedFs final : public FileSystem {
   net::Network& network_;
   std::vector<stor::IoServer> servers_;
   std::vector<sim::Timeline> smp_channels_;  ///< one per compute node
-  std::map<std::string, int> last_writer_;  ///< write-token ownership
+  /// Write-token ownership at stripe granularity (GPFS hands out byte-range
+  /// tokens rounded to block boundaries): path -> stripe index -> owner rank.
+  std::map<std::string, std::map<std::uint64_t, int>> token_owner_;
+  std::uint64_t token_transfers_ = 0;
   sim::Timeline token_manager_;  ///< serialises all token transfers
 };
 

@@ -126,6 +126,10 @@ TEST(WriteBehind, NonSequentialWritesCheaperThanReads) {
 }
 
 TEST(WriteToken, AlternatingWritersPayLockTransfers) {
+  struct Outcome {
+    double makespan = 0;
+    std::uint64_t transfers = 0;
+  };
   auto run_with = [](bool alternate, double lock_cost) {
     net::NetworkParams np;
     pfs::StripedFsParams sp;
@@ -144,15 +148,21 @@ TEST(WriteToken, AlternatingWritersPayLockTransfers) {
         p.advance(0.001);  // interleave in virtual time
       }
     });
-    return r.makespan;
+    return Outcome{r.makespan, fs.write_token_transfers()};
   };
-  // With a token cost, alternating writers are much slower than a single
-  // writer; without it they're comparable.
-  double single = run_with(false, ms(20));
-  double alternating = run_with(true, ms(20));
-  EXPECT_GT(alternating, single + 10 * ms(20));
-  double alternating_free = run_with(true, 0.0);
-  EXPECT_LT(alternating_free, alternating / 2.0);
+  // Tokens are stripe-granular: a lone writer claims every stripe unopposed
+  // and pays no transfer at all, while alternating writers false-share each
+  // 64 KiB stripe with their 16 KiB chunks and ping-pong its token.
+  Outcome single = run_with(false, ms(20));
+  Outcome alternating = run_with(true, ms(20));
+  EXPECT_EQ(single.transfers, 0u);
+  EXPECT_GE(alternating.transfers, 4u);
+  EXPECT_GT(alternating.makespan,
+            single.makespan +
+                static_cast<double>(alternating.transfers) * ms(20) / 2.0);
+  Outcome alternating_free = run_with(true, 0.0);
+  EXPECT_EQ(alternating_free.transfers, 0u);
+  EXPECT_LT(alternating_free.makespan, alternating.makespan / 2.0);
 }
 
 TEST(WriteToken, SameWriterKeepsToken) {

@@ -8,6 +8,7 @@
 #include "check/io_checker.hpp"
 #include "enzo/backends.hpp"
 #include "enzo/simulation.hpp"
+#include "mpi/io/file.hpp"
 #include "pfs/local_fs.hpp"
 #include "pfs/striped_fs.hpp"
 #include "sim/engine.hpp"
@@ -136,6 +137,40 @@ TEST(IoChecker, DetectsReadBeforeWrite) {
   EXPECT_EQ(r.count(Kind::kReadBeforeWrite), 1u) << r.format();
   // The hole [0, 1000) is also flagged.
   EXPECT_EQ(r.count(Kind::kHole), 1u);
+}
+
+TEST(IoChecker, SievingWriteDoesNotMaterialiseHoles) {
+  // Regression: the data-sieving write path used to zero-fill its
+  // read-modify-write buffer past EOF and write back the entire hull,
+  // silently materialising the unwritten gap (and the file tail) as zeros —
+  // the checker then saw a fully-written file where the application had
+  // left a hole.  Post-fix only the covered runs are written, so the
+  // genuine gap shows up as the hole it is.
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  IoChecker checker;
+  fs.attach_observer(&checker);
+  mpi::RuntimeParams rp;
+  rp.nprocs = 1;
+  mpi::Runtime rt(rp);
+  rt.run([&](mpi::Comm& c) {
+    mpi::io::File f(c, fs, "g", OpenMode::kCreate);
+    // Two segments, 200 of the 250-byte hull covered: dense enough that
+    // sieving batches them into one read-modify-write window.
+    f.set_view(0, mpi::Datatype::indexed({{0, 100}, {150, 100}}));
+    std::vector<std::byte> data(200, std::byte{0x5a});
+    f.write_at(0, data);
+    EXPECT_GE(f.stats().sieve_windows, 1u);
+    f.close();
+  });
+  CheckReport r = checker.analyze(&fs.store());
+  EXPECT_EQ(r.count(Kind::kHole), 1u) << r.format();
+  // The covered runs themselves are intact.
+  ASSERT_EQ(fs.store().size("g"), 250u);
+  std::vector<std::byte> head(100), tail(100);
+  fs.store().read_at("g", 0, head);
+  fs.store().read_at("g", 150, tail);
+  for (auto b : head) EXPECT_EQ(b, std::byte{0x5a});
+  for (auto b : tail) EXPECT_EQ(b, std::byte{0x5a});
 }
 
 TEST(IoChecker, PreexistingFilesAreNotFlagged) {

@@ -7,6 +7,7 @@
 
 #include "mpi/io/file.hpp"
 #include "pfs/local_fs.hpp"
+#include "pfs/striped_fs.hpp"
 
 namespace paramrio::mpi::io {
 namespace {
@@ -377,6 +378,169 @@ TEST(TwoPhase, RestrictedAggregatorCount) {
     if (c.rank() >= 2) EXPECT_EQ(f.stats().two_phase_windows, 0u);
     f.close();
   });
+}
+
+TEST(TwoPhase, CollectiveReadPastEofZeroFills) {
+  // Regression: interleaved views whose convex hull extends past EOF.  The
+  // aggregator used to issue a single read_at spanning its whole window,
+  // which threw once the union hull crossed the file size; it must clamp at
+  // EOF and zero-fill the tail instead (MPI semantics: reading a hole or
+  // past EOF yields undefined-but-harmless bytes, not an error — we define
+  // them as zero).
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Runtime rt(rparams(2));
+  rt.run([&](Comm& c) {
+    File f(c, fs, "short", pfs::OpenMode::kCreate);
+    if (c.rank() == 0) f.write_at(0, iota_bytes(60, 1));
+    c.barrier();
+    // rank 0 sees [0,16)+[32,48), rank 1 sees [16,32)+[48,64): the hulls
+    // interleave (two-phase engages, hull [0,64)) and aggregator 1's window
+    // [32,64) extends past EOF at 60.
+    if (c.rank() == 0) {
+      f.set_view(0, Datatype::indexed({{0, 16}, {32, 16}}));
+    } else {
+      f.set_view(0, Datatype::indexed({{16, 16}, {48, 16}}));
+    }
+    std::vector<std::byte> out(32);
+    f.read_at_all(0, out);
+    auto file_byte = [](std::uint64_t off) {
+      return static_cast<std::byte>((off * 7 + 1) & 0xff);
+    };
+    if (c.rank() == 0) {
+      EXPECT_GE(f.stats().two_phase_windows, 1u);
+      for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(out[i], file_byte(i));
+      for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(out[16 + i], file_byte(32 + i));
+    } else {
+      for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], file_byte(16 + i));
+      for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_EQ(out[16 + i], file_byte(48 + i));
+      // The four bytes past EOF come back as zeros.
+      for (std::size_t i = 12; i < 16; ++i)
+        EXPECT_EQ(out[16 + i], std::byte{0});
+    }
+    f.close();
+  });
+}
+
+TEST(TwoPhase, FastPathAndEmptyCollectivesAreCounted) {
+  // Empty collective calls and the non-interleaved fallback used to bypass
+  // the stats block entirely; both now count as collective_fastpath.
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Runtime rt(rparams(2));
+  rt.run([&](Comm& c) {
+    File f(c, fs, "fp", pfs::OpenMode::kCreate);
+    f.write_at_all(0, {});  // all ranks empty: early return
+    EXPECT_EQ(f.stats().collective_fastpath, 1u);
+    // Disjoint ascending ranges: non-interleaved, independent fallback.
+    f.set_view(static_cast<std::uint64_t>(c.rank()) * 1024);
+    f.write_at_all(0, iota_bytes(1024, static_cast<unsigned>(c.rank())));
+    EXPECT_EQ(f.stats().collective_fastpath, 2u);
+    std::vector<std::byte> back(1024);
+    f.read_at_all(0, back);
+    EXPECT_EQ(f.stats().collective_fastpath, 3u);
+    EXPECT_EQ(f.stats().two_phase_windows, 0u);
+    f.close();
+  });
+}
+
+TEST(TwoPhase, WindowBufferSizedToHullNotHint) {
+  // The aggregator's exchange window must be sized to the actual domain
+  // extent, not blindly to cb_buffer_size (default 4 MiB) — a 1 KiB
+  // collective must not allocate megabytes per aggregator.
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Runtime rt(rparams(2));
+  rt.run([&](Comm& c) {
+    File f(c, fs, "small", pfs::OpenMode::kCreate);
+    if (c.rank() == 0) {
+      f.set_view(0, Datatype::indexed({{0, 256}, {512, 256}}));
+    } else {
+      f.set_view(0, Datatype::indexed({{256, 256}, {768, 256}}));
+    }
+    f.write_at_all(0, iota_bytes(512, static_cast<unsigned>(c.rank())));
+    EXPECT_GE(f.stats().two_phase_windows, 1u);
+    EXPECT_GT(f.stats().cb_peak_window_bytes, 0u);
+    EXPECT_LE(f.stats().cb_peak_window_bytes, 512u);  // hull share, not 4 MiB
+    f.close();
+  });
+  // Both ranks' pieces landed.
+  std::vector<std::byte> all(1024);
+  fs.store().read_at("small", 0, all);
+  auto a = iota_bytes(512, 0), b = iota_bytes(512, 1);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(all[i], a[i]);
+    EXPECT_EQ(all[256 + i], b[i]);
+    EXPECT_EQ(all[512 + i], a[256 + i]);
+    EXPECT_EQ(all[768 + i], b[256 + i]);
+  }
+}
+
+TEST(TwoPhase, StripeAlignedDomainsCutServerRequestsAndTokens) {
+  // The tentpole: on a striped fs, cb_align=auto queries the Layout and
+  // hands each I/O server's stripes to a single aggregator.  Versus the
+  // classic equal-share domains (cb_align=1), the same interleaved write
+  // must hit the servers with fewer requests AND ping-pong fewer write
+  // tokens, at identical file contents.
+  const int p = 8;
+  const std::uint64_t n = 32, elem = 8;  // 256 KiB over 64 KiB stripes
+  struct Outcome {
+    std::uint64_t requests = 0, tokens = 0;
+    std::uint64_t aligned = 0, straddle = 0, saves = 0;
+    std::vector<std::byte> bytes;
+  };
+  auto run_with = [&](std::uint64_t cb_align) {
+    net::NetworkParams np;
+    pfs::StripedFsParams sp;
+    sp.stripe_size = 64 * KiB;
+    sp.n_io_nodes = 4;
+    sp.write_lock_cost = ms(5);
+    net::Network nw(np, p, sp.n_io_nodes);
+    pfs::StripedFs fs(sp, nw);
+    RuntimeParams rp = rparams(p);
+    rp.extra_fabric_nodes = sp.n_io_nodes;
+    Runtime rt(rp);
+    std::vector<FileStats> stats(p);
+    rt.run([&](Comm& c) {
+      Hints h;
+      h.cb_align = cb_align;
+      File f(c, fs, "a", pfs::OpenMode::kCreate, h);
+      auto [ys, yc] = block(n, p, c.rank());
+      // Middle-dim partition: every rank's rows interleave.
+      f.set_view(0,
+                 Datatype::subarray({n, n, n}, {n, yc, n}, {0, ys, 0}, elem));
+      std::vector<std::byte> buf(n * yc * n * elem,
+                                 static_cast<std::byte>(c.rank() + 1));
+      f.write_at_all(0, buf);
+      stats[static_cast<std::size_t>(c.rank())] = f.stats();
+      f.close();
+    });
+    Outcome o;
+    o.requests = fs.total_server_requests();
+    o.tokens = fs.write_token_transfers();
+    for (const FileStats& s : stats) {
+      o.aligned += s.cb_aligned_windows;
+      o.straddle += s.cb_straddle_windows;
+      o.saves += s.cb_token_saves;
+    }
+    o.bytes.resize(n * n * n * elem);
+    fs.store().read_at("a", 0, o.bytes);
+    return o;
+  };
+  Outcome baseline = run_with(1);
+  Outcome aligned = run_with(Hints::kCbAlignAuto);
+  // Equal-share domains cut the 64 KiB stripes at 32 KiB boundaries...
+  EXPECT_GT(baseline.straddle, 0u);
+  EXPECT_EQ(baseline.saves, 0u);
+  // ...while layout-aware domains land every window on the stripe grid.
+  EXPECT_GT(aligned.aligned, 0u);
+  EXPECT_EQ(aligned.straddle, 0u);
+  EXPECT_GT(aligned.saves, 0u);
+  // The point of the exercise: fewer server requests, fewer token transfers,
+  // same bytes.
+  EXPECT_LT(aligned.requests, baseline.requests);
+  EXPECT_LT(aligned.tokens, baseline.tokens);
+  EXPECT_EQ(aligned.bytes, baseline.bytes);
 }
 
 TEST(MpiIoFile, CollectiveOpenCreateTruncatesOnce) {

@@ -229,6 +229,38 @@ TEST(StripedFs, RoundTripAndRequestCounting) {
   EXPECT_EQ(fs.total_server_requests(), 32u);
 }
 
+TEST(Layout, StripedFsReportsGeometryOthersReportUnstriped) {
+  // The layout() query behind cb_align=auto: StripedFs exposes its stripe
+  // unit, server count, and the object's deterministic first server;
+  // LocalFs and LocalDiskFs report an unstriped layout (stripe_size 0), so
+  // layout-aware clients fall back to classic domains on them.
+  net::NetworkParams np;
+  pfs::StripedFsParams sp;
+  sp.stripe_size = 256 * KiB;
+  sp.n_io_nodes = 12;
+  net::Network nw(np, 1, sp.n_io_nodes);
+  pfs::StripedFs striped(sp, nw);
+  pfs::Layout l = striped.layout("dump/grid0001");
+  EXPECT_TRUE(l.striped());
+  EXPECT_EQ(l.stripe_size, 256 * KiB);
+  EXPECT_EQ(l.n_servers, 12);
+  EXPECT_EQ(l.first_server,
+            pfs::object_first_server("dump/grid0001", 12));
+  // Different objects may start on different servers, same geometry.
+  pfs::Layout l2 = striped.layout("dump/grid0002");
+  EXPECT_EQ(l2.stripe_size, l.stripe_size);
+  EXPECT_EQ(l2.n_servers, l.n_servers);
+
+  pfs::LocalFs local(pfs::LocalFsParams{});
+  EXPECT_FALSE(local.layout("x").striped());
+  EXPECT_EQ(local.layout("x").stripe_size, 0u);
+
+  pfs::LocalDiskFs per_node(pfs::LocalDiskFsParams{}, 4);
+  pfs::Layout ld = per_node.layout("x");
+  EXPECT_FALSE(ld.striped());  // no offset->server mapping to align to
+  EXPECT_EQ(ld.n_servers, 4);
+}
+
 TEST(StripedFs, SmallStridedRequestsCostMoreThanOneLargeRequest) {
   auto run_with = [](std::uint64_t chunk, int nchunks) {
     net::NetworkParams np;
