@@ -13,7 +13,8 @@
 
 using namespace paramrio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json("fig10_hdf5_vs_mpiio", argc, argv);
   bench::print_header(
       "Figure 10 — HDF5 vs MPI-IO write performance (Origin2000 / XFS)",
       "paper: parallel HDF5 writes much slower than raw MPI-IO");
@@ -31,6 +32,7 @@ int main() {
         res[i] = bench::run_enzo_io(spec);
         bench::print_row(spec.machine.name, enzo::to_string(size), p, b,
                          res[i]);
+        json.add_row(spec.machine.name, enzo::to_string(size), p, b, res[i]);
         ++i;
       }
       std::printf("    -> HDF5 write slowdown vs MPI-IO: %.2fx\n",

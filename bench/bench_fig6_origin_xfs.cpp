@@ -6,19 +6,46 @@
 // writes, and the advantage grows with the number of processors (the serial
 // gather/scatter through processor 0 dominates HDF4's time, while the
 // collective I/O path scales).
+//
+// Flags: --tiny       one small configuration (CI smoke run)
+//        --trace <f>  profile each run, print the phase breakdown, and
+//                     write a Chrome/Perfetto trace of the last run to <f>
+//        --json <f>   machine-readable results (see bench::JsonReporter)
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "harness.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace paramrio;
 
-int main() {
+int main(int argc, char** argv) {
+  bool tiny = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--tiny") tiny = true;
+    if (a == "--trace" && i + 1 < argc) trace_path = argv[++i];
+  }
+  bench::JsonReporter json("fig6_origin_xfs", argc, argv);
+  obs::Collector col;
+  const bool profiling = !trace_path.empty();
+
   bench::print_header(
       "Figure 6 — ENZO I/O on SGI Origin2000 / XFS",
       "paper: MPI-IO beats HDF4; gap grows with processor count");
 
-  for (auto size : {enzo::ProblemSize::kAmr64, enzo::ProblemSize::kAmr128}) {
-    for (int p : {4, 8, 16, 32}) {
+  std::vector<enzo::ProblemSize> sizes{enzo::ProblemSize::kAmr64};
+  std::vector<int> procs{4};
+  if (!tiny) {
+    sizes.push_back(enzo::ProblemSize::kAmr128);
+    procs = {4, 8, 16, 32};
+  }
+
+  for (auto size : sizes) {
+    for (int p : procs) {
       bench::IoResult res[2];
       int i = 0;
       for (auto b : {bench::Backend::kHdf4, bench::Backend::kMpiIo}) {
@@ -27,15 +54,31 @@ int main() {
         spec.config = enzo::SimulationConfig::for_size(size);
         spec.nprocs = p;
         spec.backend = b;
+        if (profiling) {
+          col.clear_events();
+          col.registry().clear();
+          spec.collector = &col;
+        }
         res[i] = bench::run_enzo_io(spec);
         bench::print_row(spec.machine.name, enzo::to_string(size), p, b,
                          res[i]);
+        json.add_row(spec.machine.name, enzo::to_string(size), p, b, res[i]);
+        if (profiling) {
+          json.attach_registry(col.registry());
+          std::printf("%s", obs::report_text(obs::build_report(col)).c_str());
+        }
         ++i;
       }
       std::printf("    -> MPI-IO speedup over HDF4: read %.2fx, write %.2fx\n",
                   res[0].read_time / res[1].read_time,
                   res[0].write_time / res[1].write_time);
     }
+  }
+
+  if (profiling) {
+    std::ofstream os(trace_path);
+    obs::write_chrome_trace(col, os);
+    std::printf("wrote trace of last run to %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -15,7 +15,8 @@
 
 using namespace paramrio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json("fig7_sp2_gpfs", argc, argv);
   bench::print_header(
       "Figure 7 — ENZO I/O on IBM SP-2 / GPFS",
       "paper: MPI-IO loses to HDF4 (stripe mismatch + SMP I/O queues); "
@@ -35,6 +36,7 @@ int main() {
         res[i] = bench::run_enzo_io(spec);
         bench::print_row(spec.machine.name, enzo::to_string(size), p, b,
                          res[i]);
+        json.add_row(spec.machine.name, enzo::to_string(size), p, b, res[i]);
         ++i;
       }
       double slowdown = res[1].write_time / res[0].write_time;

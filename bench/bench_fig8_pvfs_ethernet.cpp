@@ -13,7 +13,8 @@
 
 using namespace paramrio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json("fig8_pvfs_ethernet", argc, argv);
   bench::print_header(
       "Figure 8 — ENZO I/O on Chiba City / PVFS over fast Ethernet",
       "paper: MPI-IO write worse (comm overhead), MPI-IO read a little "
@@ -31,6 +32,7 @@ int main() {
       res[i] = bench::run_enzo_io(spec);
       bench::print_row(spec.machine.name, enzo::to_string(size), 8, b,
                        res[i]);
+      json.add_row(spec.machine.name, enzo::to_string(size), 8, b, res[i]);
       ++i;
     }
     std::printf(

@@ -11,7 +11,8 @@
 
 using namespace paramrio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json("fig9_pvfs_localdisk", argc, argv);
   bench::print_header(
       "Figure 9 — ENZO I/O on Chiba City / PVFS interface to local disks",
       "paper: MPI-IO much faster than HDF4 and scales with processors");
@@ -30,6 +31,7 @@ int main() {
         res[i] = bench::run_enzo_io(spec);
         bench::print_row(spec.machine.name, enzo::to_string(size), p, b,
                          res[i]);
+        json.add_row(spec.machine.name, enzo::to_string(size), p, b, res[i]);
         ++i;
       }
       std::printf("    -> MPI-IO speedup over HDF4: write %.2fx, read %.2fx\n",

@@ -13,7 +13,8 @@
 
 using namespace paramrio;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json("table1_io_amounts", argc, argv);
   bench::print_header(
       "Table 1 — ENZO I/O amounts per problem size",
       "paper: amounts grow ~8x per size step (grid dims double per axis)");
@@ -30,6 +31,8 @@ int main() {
     bench::IoResult r = bench::run_enzo_io(spec);
     bench::print_row(spec.machine.name, enzo::to_string(size), spec.nprocs,
                      spec.backend, r);
+    json.add_row(spec.machine.name, enzo::to_string(size), spec.nprocs,
+                 spec.backend, r);
     std::printf("    payload per dump: %.2f MB over %llu grids",
                 static_cast<double>(r.payload_bytes) / 1.0e6,
                 static_cast<unsigned long long>(r.grids));

@@ -1,9 +1,13 @@
 #include "harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "enzo/dump_common.hpp"
+#include "obs/registry.hpp"
 
 namespace paramrio::bench {
 
@@ -54,13 +58,49 @@ std::uint64_t dump_payload_bytes(const enzo::SimulationState& s,
   }
   return bytes;
 }
+
+/// Fold a finished run's engine, file-system, network and trace statistics
+/// into the collector's registry ("rankN", "proc", "fs:*", "net", "trace:*").
+void absorb_run_stats(obs::Collector& col, const sim::Engine::Result& res,
+                      platform::Testbed& tb, const trace::IoTracer* tracer) {
+  obs::MetricsRegistry& reg = col.registry();
+  for (std::size_t r = 0; r < res.stats.size(); ++r) {
+    const sim::ProcStats& s = res.stats[r];
+    const std::string scope = "rank" + std::to_string(r);
+    reg.set_value(scope, "cpu_time", s.cpu_time);
+    reg.set_value(scope, "comm_time", s.comm_time);
+    reg.set_value(scope, "io_time", s.io_time);
+    reg.set_value(scope, "total_time", s.total());
+    reg.set(scope, "bytes_sent", s.bytes_sent);
+    reg.set(scope, "bytes_received", s.bytes_received);
+    reg.set(scope, "messages_sent", s.messages_sent);
+    reg.set(scope, "io_bytes_read", s.io_bytes_read);
+    reg.set(scope, "io_bytes_written", s.io_bytes_written);
+    reg.set(scope, "io_requests", s.io_requests);
+
+    reg.add_value("proc", "cpu_time", s.cpu_time);
+    reg.add_value("proc", "comm_time", s.comm_time);
+    reg.add_value("proc", "io_time", s.io_time);
+    reg.add("proc", "bytes_sent", s.bytes_sent);
+    reg.add("proc", "io_bytes_read", s.io_bytes_read);
+    reg.add("proc", "io_bytes_written", s.io_bytes_written);
+    reg.add("proc", "io_requests", s.io_requests);
+  }
+  reg.set_value("proc", "makespan", res.makespan);
+  tb.fs().export_counters(reg);
+  tb.runtime().network().export_counters(reg);
+  if (tracer) tracer->export_counters(reg);
+}
 }  // namespace
 
 IoResult run_enzo_io(const RunSpec& spec) {
   platform::Testbed tb(spec.machine, spec.nprocs);
   IoResult result;
 
-  tb.runtime().run([&](mpi::Comm& c) {
+  if (spec.tracer) tb.fs().attach_observer(spec.tracer);
+  if (spec.collector) obs::attach(spec.collector);
+
+  sim::Engine::Result engine_result = tb.runtime().run([&](mpi::Comm& c) {
     auto backend = make_backend(spec, tb.fs());
     enzo::EnzoSimulation sim(c, spec.config);
     sim.initialize_from_universe();
@@ -73,8 +113,12 @@ IoResult run_enzo_io(const RunSpec& spec) {
     c.barrier();
     double t0 = c.proc().now();
     std::uint64_t w0 = c.proc().stats().io_bytes_written;
-    backend->write_dump(c, sim.state(), "dump");
-    c.barrier();
+    {
+      OBS_SPAN("dump", sim::TimeCategory::kIo);
+      backend->write_dump(c, sim.state(), "dump");
+      OBS_SPAN("dump.sync", sim::TimeCategory::kComm);
+      c.barrier();
+    }
     double t1 = c.proc().now();
     std::uint64_t dw = c.proc().stats().io_bytes_written - w0;
 
@@ -87,8 +131,12 @@ IoResult run_enzo_io(const RunSpec& spec) {
     c.barrier();
     double t2 = c.proc().now();
     std::uint64_t r0 = c.proc().stats().io_bytes_read;
-    backend->read_restart(c, fresh.state(), "dump");
-    c.barrier();
+    {
+      OBS_SPAN("restart_read", sim::TimeCategory::kIo);
+      backend->read_restart(c, fresh.state(), "dump");
+      OBS_SPAN("restart_read.sync", sim::TimeCategory::kComm);
+      c.barrier();
+    }
     double t3 = c.proc().now();
     std::uint64_t dr = c.proc().stats().io_bytes_read - r0;
 
@@ -103,6 +151,12 @@ IoResult run_enzo_io(const RunSpec& spec) {
       result.grids = sim.state().hierarchy.grid_count();
     }
   });
+
+  if (spec.collector) {
+    absorb_run_stats(*spec.collector, engine_result, tb, spec.tracer);
+    obs::detach();
+  }
+  if (spec.tracer) tb.fs().attach_observer(nullptr);
   return result;
 }
 
@@ -120,6 +174,67 @@ void print_row(const std::string& platform, const std::string& size, int p,
               r.read_time, r.write_time,
               static_cast<double>(r.fs_bytes_read) / 1.0e6,
               static_cast<double>(r.fs_bytes_written) / 1.0e6);
+}
+
+JsonReporter::JsonReporter(std::string bench_name, int argc, char** argv)
+    : name_(std::move(bench_name)) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      path_ = argv[i + 1];
+      return;
+    }
+  }
+  if (const char* dir = std::getenv("PARAMRIO_BENCH_JSON")) {
+    if (*dir != '\0') {
+      path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+    }
+  }
+}
+
+JsonReporter::~JsonReporter() {
+  if (enabled() && !written_) write();
+}
+
+void JsonReporter::add_row(const std::string& platform,
+                           const std::string& size, int nprocs,
+                           Backend backend, const IoResult& r) {
+  if (!enabled()) return;
+  std::ostringstream os;
+  os << "    {\n"
+     << "      \"platform\": \"" << obs::json_escape(platform) << "\",\n"
+     << "      \"size\": \"" << obs::json_escape(size) << "\",\n"
+     << "      \"nprocs\": " << nprocs << ",\n"
+     << "      \"backend\": \"" << to_string(backend) << "\",\n"
+     << "      \"write_time\": " << obs::format_double(r.write_time) << ",\n"
+     << "      \"read_time\": " << obs::format_double(r.read_time) << ",\n"
+     << "      \"fs_bytes_written\": " << r.fs_bytes_written << ",\n"
+     << "      \"fs_bytes_read\": " << r.fs_bytes_read << ",\n"
+     << "      \"payload_bytes\": " << r.payload_bytes << ",\n"
+     << "      \"grids\": " << r.grids << "\n"
+     << "    }";
+  rows_.push_back(os.str());
+}
+
+void JsonReporter::attach_registry(const obs::MetricsRegistry& reg) {
+  if (!enabled() || rows_.empty()) return;
+  std::string& row = rows_.back();
+  // Replace the closing "\n    }" with a "metrics" member.
+  row.erase(row.rfind("\n    }"));
+  row += ",\n      \"metrics\": " + reg.to_json(6) + "\n    }";
+}
+
+void JsonReporter::write() {
+  if (!enabled()) return;
+  std::ofstream os(path_);
+  PARAMRIO_REQUIRE(os.good(), "cannot open bench JSON output: " + path_);
+  os << "{\n  \"bench\": \"" << obs::json_escape(name_) << "\",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    os << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  PARAMRIO_REQUIRE(os.good(), "failed writing bench JSON: " + path_);
+  written_ = true;
 }
 
 }  // namespace paramrio::bench

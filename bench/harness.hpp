@@ -5,11 +5,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "enzo/backends.hpp"
 #include "enzo/simulation.hpp"
 #include "hdf5/h5_file.hpp"
+#include "obs/profiler.hpp"
 #include "platform/machine.hpp"
+#include "trace/io_tracer.hpp"
 
 namespace paramrio::bench {
 
@@ -34,6 +37,14 @@ struct RunSpec {
   hdf5::FileConfig hdf5_config;  ///< overhead toggles for the HDF5 backend
   mpi::io::Hints hints;          ///< MPI-IO hints (collective buffer etc.)
   int evolve_cycles = 1;         ///< cycles before the dump (moves clumps)
+
+  /// Optional cross-layer profiler: attached for the duration of the run;
+  /// the dump sits in a depth-0 "dump" span (the restart read in
+  /// "restart_read") and the run's engine / file-system / network / trace
+  /// statistics are folded into its registry afterwards.
+  obs::Collector* collector = nullptr;
+  /// Optional per-request tracer, attached to the testbed file system.
+  trace::IoTracer* tracer = nullptr;
 };
 
 /// Execute: initialise from the universe, evolve, timed checkpoint write,
@@ -44,5 +55,35 @@ IoResult run_enzo_io(const RunSpec& spec);
 void print_header(const std::string& title, const std::string& note);
 void print_row(const std::string& platform, const std::string& size, int p,
                Backend b, const IoResult& r);
+
+/// Machine-readable bench output (one JSON document per bench binary).
+///
+/// Activated either by `--json <path>` on the bench command line (exact
+/// output file) or by the PARAMRIO_BENCH_JSON environment variable naming a
+/// directory, in which case the file is `<dir>/BENCH_<name>.json`.  When
+/// neither is present the reporter is inert.  The document is written by
+/// `write()` or, failing that, the destructor.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, int argc, char** argv);
+  ~JsonReporter();
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Record one measurement row (mirrors print_row).
+  void add_row(const std::string& platform, const std::string& size,
+               int nprocs, Backend backend, const IoResult& r);
+  /// Attach a metrics-registry snapshot to the most recent row.
+  void attach_registry(const obs::MetricsRegistry& reg);
+
+  void write();
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::string> rows_;  ///< pre-serialised JSON objects
+  bool written_ = false;
+};
 
 }  // namespace paramrio::bench

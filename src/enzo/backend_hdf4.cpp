@@ -8,6 +8,7 @@
 #include "enzo/dump_common.hpp"
 #include "enzo/hierarchy_file.hpp"
 #include "hdf4/sd_file.hpp"
+#include "obs/profiler.hpp"
 
 namespace paramrio::enzo {
 
@@ -162,18 +163,25 @@ void Hdf4SerialBackend::write_dump(mpi::Comm& comm,
                                    const SimulationState& state,
                                    const std::string& base) {
   // ---- top-grid: gather to rank 0, sort particles, write serially --------
-  std::vector<amr::Array3f> full = gather_topgrid_fields(comm, state);
-
-  auto packed = amr::pack_particles(state.my_particles);
-  auto parts = comm.gatherv(packed, 0);
+  std::vector<amr::Array3f> full;
+  std::vector<mpi::Bytes> parts;
+  {
+    OBS_SPAN("hdf4.gather", sim::TimeCategory::kComm);
+    full = gather_topgrid_fields(comm, state);
+    auto packed = amr::pack_particles(state.my_particles);
+    parts = comm.gatherv(packed, 0);
+  }
 
   if (comm.rank() == 0) {
     amr::ParticleSet all;
-    for (const auto& b : parts) amr::unpack_particles(b, all);
-    // "the particles and their associated data arrays are sorted in the
-    // original order in which the particles were initially read"
-    comm.charge_sort(all.size());
-    amr::local_sort_by_id(all);
+    {
+      OBS_SPAN("hdf4.sort", sim::TimeCategory::kCpu);
+      for (const auto& b : parts) amr::unpack_particles(b, all);
+      // "the particles and their associated data arrays are sorted in the
+      // original order in which the particles were initially read"
+      comm.charge_sort(all.size());
+      amr::local_sort_by_id(all);
+    }
 
     DumpMeta meta;
     meta.time = state.time;
@@ -181,6 +189,7 @@ void Hdf4SerialBackend::write_dump(mpi::Comm& comm,
     meta.n_particles = all.size();
     meta.hierarchy = state.hierarchy;
 
+    OBS_SPAN("hdf4.topgrid_write", sim::TimeCategory::kIo);
     hdf4::SdFile top = hdf4::SdFile::create(fs_, base + ".topgrid");
     top.write_attribute("metadata", meta.serialize());
     const auto& dims = state.config.root_dims;
@@ -201,10 +210,17 @@ void Hdf4SerialBackend::write_dump(mpi::Comm& comm,
     write_hierarchy_file(fs_, base + ".hierarchy", state.hierarchy,
                          state.time, state.cycle);
   }
-  comm.barrier();
+  {
+    OBS_SPAN("hdf4.barrier", sim::TimeCategory::kComm);
+    comm.barrier();
+  }
 
   // ---- subgrids: each processor writes its own files, no communication ---
-  write_subgrid_files(state, fs_, base);
+  {
+    OBS_SPAN("hdf4.subgrid_write", sim::TimeCategory::kIo);
+    write_subgrid_files(state, fs_, base);
+  }
+  OBS_SPAN("hdf4.barrier", sim::TimeCategory::kComm);
   comm.barrier();
 }
 
@@ -216,23 +232,30 @@ void Hdf4SerialBackend::read_initial(mpi::Comm& comm, SimulationState& state,
 
   // Top-grid fields: rank 0 reads, partitions, scatters each one.
   std::vector<amr::Array3f> full;
-  if (comm.rank() == 0) {
-    const auto& dims = state.config.root_dims;
-    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
-      auto u = static_cast<std::size_t>(f);
-      amr::Array3f whole(dims[0], dims[1], dims[2]);
-      top->read_dataset(amr::baryon_field_names()[u], whole.mutable_bytes());
-      full.push_back(std::move(whole));
+  {
+    OBS_SPAN("hdf4.topgrid_read", sim::TimeCategory::kIo);
+    if (comm.rank() == 0) {
+      const auto& dims = state.config.root_dims;
+      for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+        auto u = static_cast<std::size_t>(f);
+        amr::Array3f whole(dims[0], dims[1], dims[2]);
+        top->read_dataset(amr::baryon_field_names()[u], whole.mutable_bytes());
+        full.push_back(std::move(whole));
+      }
     }
   }
-  auto fields = scatter_topgrid_fields(comm, state, full);
-  auto particles =
-      scatter_particles(comm, state, top ? &*top : nullptr, meta.n_particles);
-  if (comm.rank() == 0) top->close();
-  install_topgrid(state, meta, std::move(fields), std::move(particles));
+  {
+    OBS_SPAN("hdf4.scatter", sim::TimeCategory::kComm);
+    auto fields = scatter_topgrid_fields(comm, state, full);
+    auto particles = scatter_particles(comm, state, top ? &*top : nullptr,
+                                       meta.n_particles);
+    if (comm.rank() == 0) top->close();
+    install_topgrid(state, meta, std::move(fields), std::move(particles));
+  }
 
   // Subgrids: rank 0 reads each file and scatters (Block,Block,Block)
   // pieces of every field to all ranks.
+  OBS_SPAN("hdf4.subgrid_read", sim::TimeCategory::kIo);
   std::vector<amr::Grid> my_pieces;
   for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
     if (g.level == 0) continue;
@@ -281,22 +304,29 @@ void Hdf4SerialBackend::read_restart(mpi::Comm& comm, SimulationState& state,
   DumpMeta meta = read_meta(comm, top ? &*top : nullptr);
 
   std::vector<amr::Array3f> full;
-  if (comm.rank() == 0) {
-    const auto& dims = state.config.root_dims;
-    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
-      auto u = static_cast<std::size_t>(f);
-      amr::Array3f whole(dims[0], dims[1], dims[2]);
-      top->read_dataset(amr::baryon_field_names()[u], whole.mutable_bytes());
-      full.push_back(std::move(whole));
+  {
+    OBS_SPAN("hdf4.topgrid_read", sim::TimeCategory::kIo);
+    if (comm.rank() == 0) {
+      const auto& dims = state.config.root_dims;
+      for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+        auto u = static_cast<std::size_t>(f);
+        amr::Array3f whole(dims[0], dims[1], dims[2]);
+        top->read_dataset(amr::baryon_field_names()[u], whole.mutable_bytes());
+        full.push_back(std::move(whole));
+      }
     }
   }
-  auto fields = scatter_topgrid_fields(comm, state, full);
-  auto particles =
-      scatter_particles(comm, state, top ? &*top : nullptr, meta.n_particles);
-  if (comm.rank() == 0) top->close();
-  install_topgrid(state, meta, std::move(fields), std::move(particles));
+  {
+    OBS_SPAN("hdf4.scatter", sim::TimeCategory::kComm);
+    auto fields = scatter_topgrid_fields(comm, state, full);
+    auto particles = scatter_particles(comm, state, top ? &*top : nullptr,
+                                       meta.n_particles);
+    if (comm.rank() == 0) top->close();
+    install_topgrid(state, meta, std::move(fields), std::move(particles));
+  }
 
   // Subgrids round-robin: grid i is read whole by rank i % P.
+  OBS_SPAN("hdf4.subgrid_read", sim::TimeCategory::kIo);
   state.hierarchy = meta.hierarchy;
   state.my_subgrids.clear();
   int i = 0;

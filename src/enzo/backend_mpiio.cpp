@@ -3,10 +3,12 @@
 // parallel sample sort + block-wise non-collective I/O for the irregularly
 // partitioned particle arrays.
 #include <map>
+#include <optional>
 
 #include "amr/particles_par.hpp"
 #include "enzo/backends.hpp"
 #include "enzo/dump_common.hpp"
+#include "obs/profiler.hpp"
 
 namespace paramrio::enzo {
 
@@ -117,61 +119,85 @@ void MpiIoBackend::write_dump(mpi::Comm& comm, const SimulationState& state,
   DumpMeta meta;
   meta.time = state.time;
   meta.cycle = state.cycle;
-  meta.n_particles = comm.allreduce_sum(state.my_particles.size());
+  {
+    OBS_SPAN("mpiio_dump.meta", sim::TimeCategory::kComm);
+    meta.n_particles = comm.allreduce_sum(state.my_particles.size());
+  }
   meta.hierarchy = state.hierarchy;
   SharedLayout layout = build_layout(meta, state.config.root_dims);
 
-  mpi::io::File f(comm, fs_, base + ".enzo", pfs::OpenMode::kCreate, hints_);
+  std::optional<mpi::io::File> f;
+  {
+    OBS_SPAN("mpiio_dump.open", sim::TimeCategory::kIo);
+    f.emplace(comm, fs_, base + ".enzo", pfs::OpenMode::kCreate, hints_);
+  }
 
   if (comm.rank() == 0) {
+    OBS_SPAN("mpiio_dump.header", sim::TimeCategory::kIo);
     ByteWriter w;
     w.u64(kDumpMagic);
     auto blob = meta.serialize();
     w.u64(blob.size());
     w.bytes(blob);
     auto hdr = w.take();
-    f.set_view(0);
-    f.write_at(0, hdr);
+    f->set_view(0);
+    f->write_at(0, hdr);
   }
 
   // ---- top-grid baryon fields: collective two-phase subarray writes ------
-  for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
-    f.set_view(layout.field_off(fi),
-               block_subarray(state.config.root_dims, state.my_block));
-    f.write_at_all(0, state.my_fields[static_cast<std::size_t>(fi)].bytes());
+  {
+    OBS_SPAN("mpiio_dump.field_write", sim::TimeCategory::kIo);
+    for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
+      f->set_view(layout.field_off(fi),
+                  block_subarray(state.config.root_dims, state.my_block));
+      f->write_at_all(0,
+                      state.my_fields[static_cast<std::size_t>(fi)].bytes());
+    }
   }
 
   // ---- particles: parallel sort by ID, then block-wise contiguous
   //      independent writes ("non-collective because the block-wise pattern
   //      always results in contiguous access in each processor") -----------
-  amr::ParticleSet sorted = amr::parallel_sort_by_id(comm, state.my_particles);
-  std::uint64_t my_count = sorted.size();
-  auto counts_raw =
-      comm.allgatherv(std::as_bytes(std::span(&my_count, 1)));
+  amr::ParticleSet sorted;
   std::uint64_t first = 0;
-  for (int r = 0; r < comm.rank(); ++r) {
-    std::uint64_t c;
-    std::memcpy(&c, counts_raw[static_cast<std::size_t>(r)].data(), 8);
-    first += c;
+  {
+    OBS_SPAN("mpiio_dump.particle_sort", sim::TimeCategory::kComm);
+    sorted = amr::parallel_sort_by_id(comm, state.my_particles);
+    std::uint64_t my_count = sorted.size();
+    auto counts_raw =
+        comm.allgatherv(std::as_bytes(std::span(&my_count, 1)));
+    for (int r = 0; r < comm.rank(); ++r) {
+      std::uint64_t c;
+      std::memcpy(&c, counts_raw[static_cast<std::size_t>(r)].data(), 8);
+      first += c;
+    }
   }
-  for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
-    std::vector<std::byte> buf(my_count * kParticleArrays[a].elem_size);
-    particle_array_to_bytes(sorted, a, 0, my_count, buf.data());
-    f.set_view(layout.particle_off[a]);
-    f.write_at(first * kParticleArrays[a].elem_size, buf);
+  {
+    OBS_SPAN("mpiio_dump.particle_write", sim::TimeCategory::kIo);
+    const std::uint64_t my_count = sorted.size();
+    for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
+      std::vector<std::byte> buf(my_count * kParticleArrays[a].elem_size);
+      particle_array_to_bytes(sorted, a, 0, my_count, buf.data());
+      f->set_view(layout.particle_off[a]);
+      f->write_at(first * kParticleArrays[a].elem_size, buf);
+    }
   }
 
   // ---- subgrids: every owner writes its grids into the shared file -------
-  f.set_view(0);
-  for (const amr::Grid& g : state.my_subgrids) {
-    std::uint64_t off = layout.subgrid_off.at(g.desc.id);
-    std::uint64_t per_field = g.desc.cell_count() * sizeof(float);
-    for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
-      f.write_at(off + static_cast<std::uint64_t>(fi) * per_field,
-                 g.fields[static_cast<std::size_t>(fi)].bytes());
+  {
+    OBS_SPAN("mpiio_dump.subgrid_write", sim::TimeCategory::kIo);
+    f->set_view(0);
+    for (const amr::Grid& g : state.my_subgrids) {
+      std::uint64_t off = layout.subgrid_off.at(g.desc.id);
+      std::uint64_t per_field = g.desc.cell_count() * sizeof(float);
+      for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
+        f->write_at(off + static_cast<std::uint64_t>(fi) * per_field,
+                    g.fields[static_cast<std::size_t>(fi)].bytes());
+      }
     }
   }
-  f.close();
+  OBS_SPAN("mpiio_dump.close", sim::TimeCategory::kIo);
+  f->close();
 }
 
 void MpiIoBackend::read_initial(mpi::Comm& comm, SimulationState& state,
@@ -180,12 +206,16 @@ void MpiIoBackend::read_initial(mpi::Comm& comm, SimulationState& state,
   DumpMeta meta = read_header(f);
   SharedLayout layout = build_layout(meta, state.config.root_dims);
 
-  auto fields = read_topgrid_collective(f, state, layout);
-  auto particles = read_particles_blockwise(f, comm, state, meta, layout);
-  install_topgrid(state, meta, std::move(fields), std::move(particles));
+  {
+    OBS_SPAN("mpiio_dump.field_read", sim::TimeCategory::kIo);
+    auto fields = read_topgrid_collective(f, state, layout);
+    auto particles = read_particles_blockwise(f, comm, state, meta, layout);
+    install_topgrid(state, meta, std::move(fields), std::move(particles));
+  }
 
   // Initial subgrids are read "in the same way as the top-grid": every grid
   // partitioned across all ranks with collective subarray reads.
+  OBS_SPAN("mpiio_dump.subgrid_read", sim::TimeCategory::kIo);
   std::vector<amr::Grid> my_pieces;
   for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
     if (g.level == 0) continue;
@@ -222,11 +252,15 @@ void MpiIoBackend::read_restart(mpi::Comm& comm, SimulationState& state,
   DumpMeta meta = read_header(f);
   SharedLayout layout = build_layout(meta, state.config.root_dims);
 
-  auto fields = read_topgrid_collective(f, state, layout);
-  auto particles = read_particles_blockwise(f, comm, state, meta, layout);
-  install_topgrid(state, meta, std::move(fields), std::move(particles));
+  {
+    OBS_SPAN("mpiio_dump.field_read", sim::TimeCategory::kIo);
+    auto fields = read_topgrid_collective(f, state, layout);
+    auto particles = read_particles_blockwise(f, comm, state, meta, layout);
+    install_topgrid(state, meta, std::move(fields), std::move(particles));
+  }
 
   // Subgrids round-robin, whole-grid contiguous independent reads.
+  OBS_SPAN("mpiio_dump.subgrid_read", sim::TimeCategory::kIo);
   state.hierarchy = meta.hierarchy;
   state.my_subgrids.clear();
   f.set_view(0);

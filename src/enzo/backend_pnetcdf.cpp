@@ -3,10 +3,12 @@
 // style define/data-mode API, whose single enddef synchronisation and flat
 // aligned layout avoid the HDF5 overheads of Figure 10.
 #include <cstdio>
+#include <optional>
 
 #include "amr/particles_par.hpp"
 #include "enzo/backends.hpp"
 #include "enzo/dump_common.hpp"
+#include "obs/profiler.hpp"
 #include "pnetcdf/nc_file.hpp"
 
 namespace paramrio::enzo {
@@ -86,55 +88,79 @@ void PnetcdfBackend::write_dump(mpi::Comm& comm, const SimulationState& state,
   DumpMeta meta;
   meta.time = state.time;
   meta.cycle = state.cycle;
-  meta.n_particles = comm.allreduce_sum(state.my_particles.size());
+  {
+    OBS_SPAN("pnetcdf_dump.meta", sim::TimeCategory::kComm);
+    meta.n_particles = comm.allreduce_sum(state.my_particles.size());
+  }
   meta.hierarchy = state.hierarchy;
 
   pnetcdf::NcConfig cfg;
   cfg.hints = hints_;
-  pnetcdf::NcFile nc =
-      pnetcdf::NcFile::create(comm, fs_, base + ".nc", cfg);
+  std::optional<pnetcdf::NcFile> nc;
+  {
+    OBS_SPAN("pnetcdf_dump.open", sim::TimeCategory::kIo);
+    nc.emplace(pnetcdf::NcFile::create(comm, fs_, base + ".nc", cfg));
+  }
 
   // ---- ONE define phase for the whole dump ------------------------------
-  nc.put_att("metadata", meta.serialize());
-  DumpSchema schema = define_schema(nc, meta, state.config.root_dims);
-  nc.enddef();
+  DumpSchema schema;
+  {
+    OBS_SPAN("pnetcdf_dump.define", sim::TimeCategory::kIo);
+    nc->put_att("metadata", meta.serialize());
+    schema = define_schema(*nc, meta, state.config.root_dims);
+    nc->enddef();
+  }
 
   // ---- top-grid fields: collective subarray writes ----------------------
-  for (int f = 0; f < amr::kNumBaryonFields; ++f) {
-    auto u = static_cast<std::size_t>(f);
-    nc.put_vara_all(schema.topgrid_fields[u], vec3(state.my_block.start),
-                    vec3(state.my_block.count), state.my_fields[u].bytes());
+  {
+    OBS_SPAN("pnetcdf_dump.field_write", sim::TimeCategory::kIo);
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      auto u = static_cast<std::size_t>(f);
+      nc->put_vara_all(schema.topgrid_fields[u], vec3(state.my_block.start),
+                       vec3(state.my_block.count), state.my_fields[u].bytes());
+    }
   }
 
   // ---- particles: parallel sort, block-wise independent writes ----------
   if (meta.n_particles > 0) {
-    amr::ParticleSet sorted =
-        amr::parallel_sort_by_id(comm, state.my_particles);
-    std::uint64_t my_count = sorted.size();
-    auto counts_raw = comm.allgatherv(std::as_bytes(std::span(&my_count, 1)));
+    amr::ParticleSet sorted;
     std::uint64_t first = 0;
-    for (int r = 0; r < comm.rank(); ++r) {
-      std::uint64_t c;
-      std::memcpy(&c, counts_raw[static_cast<std::size_t>(r)].data(), 8);
-      first += c;
+    {
+      OBS_SPAN("pnetcdf_dump.particle_sort", sim::TimeCategory::kComm);
+      sorted = amr::parallel_sort_by_id(comm, state.my_particles);
+      std::uint64_t my_count = sorted.size();
+      auto counts_raw =
+          comm.allgatherv(std::as_bytes(std::span(&my_count, 1)));
+      for (int r = 0; r < comm.rank(); ++r) {
+        std::uint64_t c;
+        std::memcpy(&c, counts_raw[static_cast<std::size_t>(r)].data(), 8);
+        first += c;
+      }
     }
+    OBS_SPAN("pnetcdf_dump.particle_write", sim::TimeCategory::kIo);
+    std::uint64_t my_count = sorted.size();
     for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
       if (my_count == 0) continue;
       std::vector<std::byte> buf(my_count * kParticleArrays[a].elem_size);
       particle_array_to_bytes(sorted, a, 0, my_count, buf.data());
-      nc.put_vara(schema.particles[a], {first}, {my_count}, buf);
+      nc->put_vara(schema.particles[a], {first}, {my_count}, buf);
     }
   }
 
   // ---- subgrids: independent whole-variable writes by their owners ------
-  for (const amr::Grid& g : state.my_subgrids) {
-    const auto& vars = schema.subgrid_fields.at(g.desc.id);
-    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
-      auto u = static_cast<std::size_t>(f);
-      nc.put_vara(vars[u], {0, 0, 0}, vec3(g.desc.dims), g.fields[u].bytes());
+  {
+    OBS_SPAN("pnetcdf_dump.subgrid_write", sim::TimeCategory::kIo);
+    for (const amr::Grid& g : state.my_subgrids) {
+      const auto& vars = schema.subgrid_fields.at(g.desc.id);
+      for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+        auto u = static_cast<std::size_t>(f);
+        nc->put_vara(vars[u], {0, 0, 0}, vec3(g.desc.dims),
+                     g.fields[u].bytes());
+      }
     }
   }
-  nc.close();
+  OBS_SPAN("pnetcdf_dump.close", sim::TimeCategory::kIo);
+  nc->close();
 }
 
 void PnetcdfBackend::read_initial(mpi::Comm& comm, SimulationState& state,
@@ -144,37 +170,42 @@ void PnetcdfBackend::read_initial(mpi::Comm& comm, SimulationState& state,
   pnetcdf::NcFile nc = pnetcdf::NcFile::open(comm, fs_, base + ".nc", cfg);
   DumpMeta meta = DumpMeta::deserialize(nc.get_att("metadata"));
 
-  // Top-grid fields: collective subarray reads of my block.
-  std::vector<amr::Array3f> fields;
-  const amr::BlockExtent& e = state.my_block;
-  for (int f = 0; f < amr::kNumBaryonFields; ++f) {
-    auto u = static_cast<std::size_t>(f);
-    int v = nc.inq_varid("topgrid/" + amr::baryon_field_names()[u]);
-    amr::Array3f blk(e.count[0], e.count[1], e.count[2]);
-    nc.get_vara_all(v, vec3(e.start), vec3(e.count), blk.mutable_bytes());
-    fields.push_back(std::move(blk));
-  }
-
-  // Particles: block-wise slices then redistribution by position.
-  amr::ParticleSet particles;
-  if (meta.n_particles > 0) {
-    auto [first, count] =
-        amr::block_range(meta.n_particles, comm.size(), comm.rank());
-    amr::ParticleSet slice;
-    slice.resize(count);
-    for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
-      if (count == 0) break;
-      int v = nc.inq_varid(std::string("topgrid/") + kParticleArrays[a].name);
-      std::vector<std::byte> buf(count * kParticleArrays[a].elem_size);
-      nc.get_vara(v, {first}, {count}, buf);
-      particle_array_from_bytes(slice, a, count, buf.data());
+  {
+    OBS_SPAN("pnetcdf_dump.field_read", sim::TimeCategory::kIo);
+    // Top-grid fields: collective subarray reads of my block.
+    std::vector<amr::Array3f> fields;
+    const amr::BlockExtent& e = state.my_block;
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      auto u = static_cast<std::size_t>(f);
+      int v = nc.inq_varid("topgrid/" + amr::baryon_field_names()[u]);
+      amr::Array3f blk(e.count[0], e.count[1], e.count[2]);
+      nc.get_vara_all(v, vec3(e.start), vec3(e.count), blk.mutable_bytes());
+      fields.push_back(std::move(blk));
     }
-    particles = amr::redistribute_by_position(
-        comm, slice, state.config.root_dims, state.proc_grid);
+
+    // Particles: block-wise slices then redistribution by position.
+    amr::ParticleSet particles;
+    if (meta.n_particles > 0) {
+      auto [first, count] =
+          amr::block_range(meta.n_particles, comm.size(), comm.rank());
+      amr::ParticleSet slice;
+      slice.resize(count);
+      for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
+        if (count == 0) break;
+        int v =
+            nc.inq_varid(std::string("topgrid/") + kParticleArrays[a].name);
+        std::vector<std::byte> buf(count * kParticleArrays[a].elem_size);
+        nc.get_vara(v, {first}, {count}, buf);
+        particle_array_from_bytes(slice, a, count, buf.data());
+      }
+      particles = amr::redistribute_by_position(
+          comm, slice, state.config.root_dims, state.proc_grid);
+    }
+    install_topgrid(state, meta, std::move(fields), std::move(particles));
   }
-  install_topgrid(state, meta, std::move(fields), std::move(particles));
 
   // Initial subgrids: every grid partitioned, collective reads.
+  OBS_SPAN("pnetcdf_dump.subgrid_read", sim::TimeCategory::kIo);
   std::vector<amr::Grid> my_pieces;
   for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
     if (g.level == 0) continue;
@@ -211,34 +242,39 @@ void PnetcdfBackend::read_restart(mpi::Comm& comm, SimulationState& state,
   pnetcdf::NcFile nc = pnetcdf::NcFile::open(comm, fs_, base + ".nc", cfg);
   DumpMeta meta = DumpMeta::deserialize(nc.get_att("metadata"));
 
-  std::vector<amr::Array3f> fields;
-  const amr::BlockExtent& e = state.my_block;
-  for (int f = 0; f < amr::kNumBaryonFields; ++f) {
-    auto u = static_cast<std::size_t>(f);
-    int v = nc.inq_varid("topgrid/" + amr::baryon_field_names()[u]);
-    amr::Array3f blk(e.count[0], e.count[1], e.count[2]);
-    nc.get_vara_all(v, vec3(e.start), vec3(e.count), blk.mutable_bytes());
-    fields.push_back(std::move(blk));
-  }
-
-  amr::ParticleSet particles;
-  if (meta.n_particles > 0) {
-    auto [first, count] =
-        amr::block_range(meta.n_particles, comm.size(), comm.rank());
-    amr::ParticleSet slice;
-    slice.resize(count);
-    for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
-      if (count == 0) break;
-      int v = nc.inq_varid(std::string("topgrid/") + kParticleArrays[a].name);
-      std::vector<std::byte> buf(count * kParticleArrays[a].elem_size);
-      nc.get_vara(v, {first}, {count}, buf);
-      particle_array_from_bytes(slice, a, count, buf.data());
+  {
+    OBS_SPAN("pnetcdf_dump.field_read", sim::TimeCategory::kIo);
+    std::vector<amr::Array3f> fields;
+    const amr::BlockExtent& e = state.my_block;
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      auto u = static_cast<std::size_t>(f);
+      int v = nc.inq_varid("topgrid/" + amr::baryon_field_names()[u]);
+      amr::Array3f blk(e.count[0], e.count[1], e.count[2]);
+      nc.get_vara_all(v, vec3(e.start), vec3(e.count), blk.mutable_bytes());
+      fields.push_back(std::move(blk));
     }
-    particles = amr::redistribute_by_position(
-        comm, slice, state.config.root_dims, state.proc_grid);
-  }
-  install_topgrid(state, meta, std::move(fields), std::move(particles));
 
+    amr::ParticleSet particles;
+    if (meta.n_particles > 0) {
+      auto [first, count] =
+          amr::block_range(meta.n_particles, comm.size(), comm.rank());
+      amr::ParticleSet slice;
+      slice.resize(count);
+      for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
+        if (count == 0) break;
+        int v =
+            nc.inq_varid(std::string("topgrid/") + kParticleArrays[a].name);
+        std::vector<std::byte> buf(count * kParticleArrays[a].elem_size);
+        nc.get_vara(v, {first}, {count}, buf);
+        particle_array_from_bytes(slice, a, count, buf.data());
+      }
+      particles = amr::redistribute_by_position(
+          comm, slice, state.config.root_dims, state.proc_grid);
+    }
+    install_topgrid(state, meta, std::move(fields), std::move(particles));
+  }
+
+  OBS_SPAN("pnetcdf_dump.subgrid_read", sim::TimeCategory::kIo);
   state.hierarchy = meta.hierarchy;
   state.my_subgrids.clear();
   int i = 0;

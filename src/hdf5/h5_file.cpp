@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/byte_io.hpp"
+#include "obs/profiler.hpp"
 
 namespace paramrio::hdf5 {
 
@@ -82,6 +83,7 @@ void H5File::raw_write_all(const std::vector<mpi::Segment>& segs,
 
 void H5File::metadata_barrier() {
   if (config_.comm != nullptr && config_.metadata_sync) {
+    OBS_SPAN("hdf5.metadata_sync", sim::TimeCategory::kComm);
     config_.comm->barrier();
   }
 }
@@ -222,6 +224,7 @@ std::uint64_t H5File::append_record(std::uint32_t kind,
   has_records_ = true;
 
   if (physical) {
+    OBS_SPAN("hdf5.metadata_write", sim::TimeCategory::kIo);
     ByteWriter w;
     w.u32(kind);
     w.u32(static_cast<std::uint32_t>(header.size()));
@@ -259,6 +262,7 @@ Dataset H5File::create_dataset(const std::string& name, NumberType type,
   PARAMRIO_REQUIRE(open_ && writable_, "H5File: not open for writing");
   PARAMRIO_REQUIRE(index_.find(name) == index_.end(),
                    "H5File: duplicate dataset " + name);
+  OBS_SPAN("hdf5.dataset_create", sim::TimeCategory::kIo);
   metadata_barrier();
 
   DatasetInfo info;
@@ -324,6 +328,7 @@ std::vector<std::string> H5File::dataset_names() const {
 void H5File::write_attribute(const std::string& name,
                              std::span<const std::byte> value) {
   PARAMRIO_REQUIRE(open_ && writable_, "H5File: not open for writing");
+  OBS_SPAN("hdf5.attribute", sim::TimeCategory::kIo);
   if (config_.comm != nullptr && config_.rank0_attributes) {
     // The 2002 release: attributes can only be created/written by rank 0,
     // and everyone synchronises around the metadata update.
@@ -364,6 +369,8 @@ std::vector<mpi::Segment> Dataset::selection_segments(
                                 r.element_count * esize});
   });
   if (charge_pack && sim::in_simulation()) {
+    OBS_SPAN("hdf5.pack", sim::TimeCategory::kCpu);
+    obs::span_counter("pack_steps", steps);
     const FileConfig& cfg = file_->config_;
     double per_step = cfg.recursive_pack ? cfg.pack_step_cost
                                          : cfg.pack_step_cost * 0.05;
@@ -440,6 +447,7 @@ void Dataset::close() {
   // Closing a dataset of a writable file flushes metadata collectively (the
   // paper's per-dataset synchronisation).  Read-only closes are local, so
   // round-robin readers can close independently.
+  OBS_SPAN("hdf5.dataset_close", sim::TimeCategory::kComm);
   if (file_->writable_) file_->metadata_barrier();
   closed_ = true;
 }

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace paramrio::mpi::io {
+
+std::string hints_key(const Hints& h) {
+  std::string key = "cb=" + std::to_string(h.cb_buffer_size) +
+                    ",cbn=" + std::to_string(h.cb_nodes) +
+                    ",al=" + std::to_string(h.cb_align) +
+                    ",ds=" + std::to_string(h.ds_buffer_size) +
+                    ",dsr=" + std::to_string(h.data_sieving_reads ? 1 : 0) +
+                    ",dsw=" + std::to_string(h.data_sieving_writes ? 1 : 0) +
+                    ",wb=" + std::to_string(h.wb_buffer_size);
+  return key;
+}
 
 File::File(Comm& comm, pfs::FileSystem& fs, std::string path,
            pfs::OpenMode mode, Hints hints)
@@ -22,15 +35,38 @@ File::File(Comm& comm, pfs::FileSystem& fs, std::string path,
 File::~File() {
   // Collective close must be explicit; a destructor cannot synchronise.
   // Release the descriptor quietly if the user forgot.
-  if (open_) fs_.close(fd_);
+  if (open_) {
+    persist_stats();
+    fs_.close(fd_);
+  }
 }
 
 void File::close() {
   PARAMRIO_REQUIRE(open_, "File::close: already closed");
+  OBS_SPAN("mpiio.close", sim::TimeCategory::kIo);
   flush();
   comm_.barrier();
+  persist_stats();
   fs_.close(fd_);
   open_ = false;
+}
+
+void File::persist_stats() {
+  obs::Collector* c = obs::collector();
+  if (c == nullptr) return;
+  const std::string scope = "file:" + path_ + "|" + hints_key(hints_);
+  obs::MetricsRegistry& reg = c->registry();
+  reg.add(scope, "independent_ops", stats_.independent_ops);
+  reg.add(scope, "collective_ops", stats_.collective_ops);
+  reg.add(scope, "sieve_windows", stats_.sieve_windows);
+  reg.add(scope, "two_phase_windows", stats_.two_phase_windows);
+  reg.add(scope, "wb_flushes", stats_.wb_flushes);
+  reg.add(scope, "wb_absorbed", stats_.wb_absorbed);
+  reg.add(scope, "collective_fastpath", stats_.collective_fastpath);
+  reg.add(scope, "cb_aligned_windows", stats_.cb_aligned_windows);
+  reg.add(scope, "cb_straddle_windows", stats_.cb_straddle_windows);
+  reg.add(scope, "cb_token_saves", stats_.cb_token_saves);
+  reg.observe_max(scope, "cb_peak_window_bytes", stats_.cb_peak_window_bytes);
 }
 
 void File::set_view(std::uint64_t disp, Datatype filetype) {
@@ -50,6 +86,7 @@ std::uint64_t File::size() {
 
 void File::flush() {
   if (wb_runs_.empty()) return;
+  OBS_SPAN("mpiio.wb_flush", sim::TimeCategory::kIo);
   stats_.wb_flushes += 1;
   for (const auto& [offset, data] : wb_runs_) {
     fs_.write_at(fd_, offset, data);
@@ -109,6 +146,8 @@ std::vector<Segment> File::map_view(std::uint64_t offset,
 
 void File::read_at(std::uint64_t offset, std::span<std::byte> buf) {
   if (buf.empty()) return;
+  OBS_SPAN("mpiio.read", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", buf.size());
   flush();  // reads must observe this rank's buffered writes
   stats_.independent_ops += 1;
   independent_read(map_view(offset, buf.size()), buf);
@@ -116,6 +155,8 @@ void File::read_at(std::uint64_t offset, std::span<std::byte> buf) {
 
 void File::write_at(std::uint64_t offset, std::span<const std::byte> buf) {
   if (buf.empty()) return;
+  OBS_SPAN("mpiio.write", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", buf.size());
   stats_.independent_ops += 1;
   auto segs = map_view(offset, buf.size());
   if (segs.size() == 1 && wb_absorb(segs[0].offset, buf)) {
@@ -267,6 +308,8 @@ void File::independent_write(const std::vector<Segment>& segs,
 }
 
 void File::read_at_all(std::uint64_t offset, std::span<std::byte> buf) {
+  OBS_SPAN("mpiio.read_all", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", buf.size());
   flush();
   stats_.collective_ops += 1;
   two_phase(/*is_write=*/false, map_view(offset, buf.size()), buf, {});
@@ -274,6 +317,8 @@ void File::read_at_all(std::uint64_t offset, std::span<std::byte> buf) {
 
 void File::write_at_all(std::uint64_t offset,
                         std::span<const std::byte> buf) {
+  OBS_SPAN("mpiio.write_all", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", buf.size());
   flush();
   stats_.collective_ops += 1;
   two_phase(/*is_write=*/true, map_view(offset, buf.size()), {}, buf);

@@ -93,6 +93,10 @@ struct FileStats {
   std::uint64_t cb_peak_window_bytes = 0;
 };
 
+/// Compact deterministic key for a hint set, used to name the registry scope
+/// a File's stats persist into ("file:<path>|<hints_key>").
+std::string hints_key(const Hints& hints);
+
 class File {
  public:
   /// Collective open: every rank must call with identical arguments.
@@ -135,6 +139,11 @@ class File {
   const std::string& path() const { return path_; }
 
  private:
+  /// Persist this rank's FileStats into the attached obs collector's
+  /// registry (scope "file:<path>|<hints_key>"), so the numbers outlive the
+  /// File.  Ranks add into the same scope; called once per rank, from
+  /// close() or the destructor fallback.
+  void persist_stats();
   /// Map [offset, offset+len) of this rank's view stream to absolute file
   /// segments, in stream order, coalesced.
   std::vector<Segment> map_view(std::uint64_t offset, std::uint64_t len) const;

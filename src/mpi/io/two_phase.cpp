@@ -22,6 +22,7 @@
 #include <cstring>
 
 #include "mpi/io/file.hpp"
+#include "obs/profiler.hpp"
 
 namespace paramrio::mpi::io {
 
@@ -219,7 +220,11 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
   const int p = comm_.size();
 
   // ---- phase 0: exchange flattened access patterns --------------------
-  std::vector<Bytes> raw = comm_.allgatherv(serialize_segments(segs));
+  std::vector<Bytes> raw;
+  {
+    OBS_SPAN("two_phase.pattern_exchange", sim::TimeCategory::kComm);
+    raw = comm_.allgatherv(serialize_segments(segs));
+  }
   std::vector<std::vector<Piece>> pieces(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     pieces[static_cast<std::size_t>(r)] =
@@ -348,35 +353,45 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
           window.resize(wbytes);
           stats_.cb_peak_window_bytes =
               std::max(stats_.cb_peak_window_bytes, wbytes);
-          // Read each union run of wanted bytes — not the whole hull, so
-          // interior holes are never touched — clamped at EOF with a
-          // zero-fill tail (a restart may legitimately ask past the end of
-          // a short dump; MPI-IO returns zeros there, it must not fault).
-          std::vector<Piece> all;
-          for (const auto& w : want) all.insert(all.end(), w.begin(), w.end());
-          std::sort(all.begin(), all.end(),
-                    [](const Piece& a, const Piece& b) {
-                      return a.file_off < b.file_off;
-                    });
-          const std::uint64_t fsize = fs_.size(fd_);
-          for (const Segment& run : union_runs(all)) {
-            const std::uint64_t idx = win_index(ranges, run.offset);
-            const std::uint64_t run_end = run.offset + run.length;
-            const std::uint64_t readable_end =
-                std::min(run_end, std::max(fsize, run.offset));
-            if (readable_end > run.offset) {
-              fs_.read_at(fd_, run.offset,
-                          std::span<std::byte>(window.data() + idx,
-                                               readable_end - run.offset));
+          obs::counter_sample("cb_window_bytes",
+                              static_cast<double>(wbytes));
+          {
+            OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
+            obs::span_counter("window_bytes", wbytes);
+            // Read each union run of wanted bytes — not the whole hull, so
+            // interior holes are never touched — clamped at EOF with a
+            // zero-fill tail (a restart may legitimately ask past the end
+            // of a short dump; MPI-IO returns zeros there, it must not
+            // fault).
+            std::vector<Piece> all;
+            for (const auto& w : want) {
+              all.insert(all.end(), w.begin(), w.end());
             }
-            if (readable_end < run_end) {
-              std::fill_n(window.begin() +
-                              static_cast<std::ptrdiff_t>(
-                                  idx + (readable_end - run.offset)),
-                          run_end - readable_end, std::byte{0});
+            std::sort(all.begin(), all.end(),
+                      [](const Piece& a, const Piece& b) {
+                        return a.file_off < b.file_off;
+                      });
+            const std::uint64_t fsize = fs_.size(fd_);
+            for (const Segment& run : union_runs(all)) {
+              const std::uint64_t idx = win_index(ranges, run.offset);
+              const std::uint64_t run_end = run.offset + run.length;
+              const std::uint64_t readable_end =
+                  std::min(run_end, std::max(fsize, run.offset));
+              if (readable_end > run.offset) {
+                fs_.read_at(fd_, run.offset,
+                            std::span<std::byte>(window.data() + idx,
+                                                 readable_end - run.offset));
+              }
+              if (readable_end < run_end) {
+                std::fill_n(window.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    idx + (readable_end - run.offset)),
+                            run_end - readable_end, std::byte{0});
+              }
             }
           }
           // Pack and ship each rank's share.
+          OBS_SPAN("two_phase.comm", sim::TimeCategory::kComm);
           for (int r = 0; r < p; ++r) {
             const auto& cl = want[static_cast<std::size_t>(r)];
             if (cl.empty()) continue;
@@ -389,17 +404,20 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
               pos += q.len;
             }
             comm_.charge_memcpy(out.size());
+            obs::span_counter("bytes", out.size());
             comm_.send(r, tag, out);
           }
         }
       }
       // -- requester side: receive from every aggregator that holds a piece
+      OBS_SPAN("two_phase.comm", sim::TimeCategory::kComm);
       for (int a = 0; a < geom.naggr; ++a) {
         geom.window_ranges(a, t, peer);
         if (peer.empty()) continue;
         auto cl = clip_ranges(mine, peer);
         if (cl.empty()) continue;
         Bytes in = comm_.recv(a, tag);
+        obs::span_counter("bytes", in.size());
         PARAMRIO_REQUIRE(in.size() == total_len(cl),
                          "two-phase read: piece size mismatch");
         std::uint64_t pos = 0;
@@ -411,46 +429,57 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
       }
     } else {
       // ---- WRITE: requesters ship pieces, aggregator assembles + writes
-      for (int a = 0; a < geom.naggr; ++a) {
-        geom.window_ranges(a, t, peer);
-        if (peer.empty()) continue;
-        auto cl = clip_ranges(mine, peer);
-        if (cl.empty()) continue;
-        Bytes out(total_len(cl));
-        std::uint64_t pos = 0;
-        for (const Piece& q : cl) {
-          std::memcpy(out.data() + pos, wbuf.data() + q.buf_off, q.len);
-          pos += q.len;
+      {
+        OBS_SPAN("two_phase.comm", sim::TimeCategory::kComm);
+        for (int a = 0; a < geom.naggr; ++a) {
+          geom.window_ranges(a, t, peer);
+          if (peer.empty()) continue;
+          auto cl = clip_ranges(mine, peer);
+          if (cl.empty()) continue;
+          Bytes out(total_len(cl));
+          std::uint64_t pos = 0;
+          for (const Piece& q : cl) {
+            std::memcpy(out.data() + pos, wbuf.data() + q.buf_off, q.len);
+            pos += q.len;
+          }
+          comm_.charge_memcpy(out.size());
+          obs::span_counter("bytes", out.size());
+          comm_.send(a, tag, out);
         }
-        comm_.charge_memcpy(out.size());
-        comm_.send(a, tag, out);
       }
       if (i_aggregate) {
         geom.window_ranges(comm_.rank(), t, ranges);
         if (!ranges.empty()) {
           std::vector<Piece> incoming;
           bool sized = false;
-          for (int r = 0; r < p; ++r) {
-            auto cl = clip_ranges(pieces[static_cast<std::size_t>(r)], ranges);
-            if (cl.empty()) continue;
-            if (!sized) {
-              const std::uint64_t wbytes = geom.extent(ranges);
-              window.resize(wbytes);
-              stats_.cb_peak_window_bytes =
-                  std::max(stats_.cb_peak_window_bytes, wbytes);
-              sized = true;
+          {
+            OBS_SPAN("two_phase.comm", sim::TimeCategory::kComm);
+            for (int r = 0; r < p; ++r) {
+              auto cl =
+                  clip_ranges(pieces[static_cast<std::size_t>(r)], ranges);
+              if (cl.empty()) continue;
+              if (!sized) {
+                const std::uint64_t wbytes = geom.extent(ranges);
+                window.resize(wbytes);
+                stats_.cb_peak_window_bytes =
+                    std::max(stats_.cb_peak_window_bytes, wbytes);
+                obs::counter_sample("cb_window_bytes",
+                                    static_cast<double>(wbytes));
+                sized = true;
+              }
+              Bytes in = comm_.recv(r, tag);
+              PARAMRIO_REQUIRE(in.size() == total_len(cl),
+                               "two-phase write: piece size mismatch");
+              std::uint64_t pos = 0;
+              for (const Piece& q : cl) {
+                std::memcpy(window.data() + win_index(ranges, q.file_off),
+                            in.data() + pos, q.len);
+                pos += q.len;
+              }
+              comm_.charge_memcpy(in.size());
+              obs::span_counter("bytes", in.size());
+              incoming.insert(incoming.end(), cl.begin(), cl.end());
             }
-            Bytes in = comm_.recv(r, tag);
-            PARAMRIO_REQUIRE(in.size() == total_len(cl),
-                             "two-phase write: piece size mismatch");
-            std::uint64_t pos = 0;
-            for (const Piece& q : cl) {
-              std::memcpy(window.data() + win_index(ranges, q.file_off),
-                          in.data() + pos, q.len);
-              pos += q.len;
-            }
-            comm_.charge_memcpy(in.size());
-            incoming.insert(incoming.end(), cl.begin(), cl.end());
           }
           if (!incoming.empty()) {
             stats_.two_phase_windows += 1;
@@ -460,6 +489,8 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
                       [](const Piece& a2, const Piece& b2) {
                         return a2.file_off < b2.file_off;
                       });
+            OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
+            obs::span_counter("window_bytes", window.size());
             // Write each covered run contiguously; holes are skipped so no
             // read-modify-write is needed.
             for (const Segment& run : union_runs(incoming)) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace paramrio::net {
 
 Network::Network(NetworkParams params, int nprocs, int extra_nodes)
@@ -15,8 +17,12 @@ Network::Network(NetworkParams params, int nprocs, int extra_nodes)
 }
 
 double Network::send(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
+  OBS_SPAN("net.send", sim::TimeCategory::kComm);
+  obs::span_counter("bytes", bytes);
   src.stats().messages_sent += 1;
   src.stats().bytes_sent += bytes;
+  counters_.messages += 1;
+  counters_.bytes += bytes;
 
   const double b = static_cast<double>(bytes);
   if (same_node(src.rank(), dst_rank)) {
@@ -41,6 +47,8 @@ double Network::send(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
 }
 
 void Network::receive(sim::Proc& dst, double arrival, std::uint64_t bytes) {
+  OBS_SPAN("net.recv", sim::TimeCategory::kComm);
+  obs::span_counter("bytes", bytes);
   dst.stats().bytes_received += bytes;
   dst.clock_at_least(arrival, sim::TimeCategory::kComm);
   double copy = static_cast<double>(bytes) * params_.recv_byte_cost;
@@ -49,6 +57,8 @@ void Network::receive(sim::Proc& dst, double arrival, std::uint64_t bytes) {
 
 double Network::wire_transfer(double start, int src_node, int dst_node,
                               std::uint64_t bytes) {
+  counters_.wire_transfers += 1;
+  counters_.wire_bytes += bytes;
   const double b = static_cast<double>(bytes);
   double link_time = b / params_.bandwidth;
   double span = link_time;
@@ -70,6 +80,13 @@ double Network::wire_transfer(double start, int src_node, int dst_node,
     backplane_.acquire(s0, b / params_.backplane_bandwidth);
   }
   return s0 + span;
+}
+
+void Network::export_counters(obs::MetricsRegistry& reg) const {
+  reg.add("net", "messages", counters_.messages);
+  reg.add("net", "bytes", counters_.bytes);
+  reg.add("net", "wire_transfers", counters_.wire_transfers);
+  reg.add("net", "wire_bytes", counters_.wire_bytes);
 }
 
 }  // namespace paramrio::net

@@ -22,6 +22,10 @@
 #include "base/units.hpp"
 #include "sim/engine.hpp"
 
+namespace paramrio::obs {
+class MetricsRegistry;
+}
+
 namespace paramrio::net {
 
 struct NetworkParams {
@@ -34,6 +38,14 @@ struct NetworkParams {
   int procs_per_node = 1;                      ///< SMP width
   bool nic_contention = false;                 ///< serialise per-node NICs
   double backplane_bandwidth = 0.0;            ///< 0 = full bisection
+};
+
+/// Aggregate traffic counters over a Network's lifetime (one Engine::run).
+struct NetworkCounters {
+  std::uint64_t messages = 0;       ///< point-to-point sends
+  std::uint64_t bytes = 0;          ///< payload bytes sent
+  std::uint64_t wire_transfers = 0; ///< fabric transfers incl. pfs traffic
+  std::uint64_t wire_bytes = 0;
 };
 
 /// Per-run interconnect state.  Construct one per Engine::run for up to
@@ -66,11 +78,17 @@ class Network {
   double wire_transfer(double start, int src_node, int dst_node,
                        std::uint64_t bytes);
 
+  const NetworkCounters& counters() const { return counters_; }
+
+  /// Publish aggregate counters into `reg` under scope "net".
+  void export_counters(obs::MetricsRegistry& reg) const;
+
  private:
   int compute_nodes_ = 0;
   NetworkParams params_;
   std::vector<sim::Timeline> nics_;  ///< one per SMP node
   sim::Timeline backplane_;
+  NetworkCounters counters_;
 };
 
 }  // namespace paramrio::net

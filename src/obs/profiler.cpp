@@ -1,0 +1,118 @@
+#include "obs/profiler.hpp"
+
+#include <atomic>
+
+namespace paramrio::obs {
+
+namespace {
+// Proc threads are created after attach() and joined before detach(), so a
+// plain atomic pointer is enough — the engine's baton serialises all
+// recording calls.
+std::atomic<Collector*> g_collector{nullptr};
+}  // namespace
+
+const char* to_string(TimeCategory cat) {
+  switch (cat) {
+    case TimeCategory::kCpu:
+      return "cpu";
+    case TimeCategory::kComm:
+      return "comm";
+    case TimeCategory::kIo:
+      return "io";
+  }
+  return "?";
+}
+
+void attach(Collector* c) { g_collector.store(c, std::memory_order_release); }
+
+void detach() { attach(nullptr); }
+
+Collector* collector() { return g_collector.load(std::memory_order_acquire); }
+
+void Collector::begin_span(sim::Proc& proc, const char* name,
+                           TimeCategory cat) {
+  auto rank = static_cast<std::size_t>(proc.rank());
+  if (stacks_.size() <= rank) stacks_.resize(rank + 1);
+  SpanRecord rec;
+  rec.rank = proc.rank();
+  rec.depth = static_cast<int>(stacks_[rank].size());
+  rec.name = name;
+  rec.category = cat;
+  rec.t_start = proc.now();
+  const sim::ProcStats& s = proc.stats();
+  rec.cpu_dt = s.cpu_time;    // entry snapshot; converted to delta at end
+  rec.comm_dt = s.comm_time;
+  rec.io_dt = s.io_time;
+  stacks_[rank].push_back(std::move(rec));
+}
+
+void Collector::end_span(sim::Proc& proc) {
+  auto rank = static_cast<std::size_t>(proc.rank());
+  PARAMRIO_REQUIRE(rank < stacks_.size() && !stacks_[rank].empty(),
+                   "obs: end_span with no open span on rank " +
+                       std::to_string(proc.rank()));
+  SpanRecord rec = std::move(stacks_[rank].back());
+  stacks_[rank].pop_back();
+  rec.t_end = proc.now();
+  const sim::ProcStats& s = proc.stats();
+  rec.cpu_dt = s.cpu_time - rec.cpu_dt;
+  rec.comm_dt = s.comm_time - rec.comm_dt;
+  rec.io_dt = s.io_time - rec.io_dt;
+  spans_.push_back(std::move(rec));
+}
+
+void Collector::span_counter(sim::Proc& proc, const char* name,
+                             std::uint64_t value) {
+  auto rank = static_cast<std::size_t>(proc.rank());
+  if (rank >= stacks_.size() || stacks_[rank].empty()) return;
+  auto& counters = stacks_[rank].back().counters;
+  for (auto& [n, v] : counters) {
+    if (n == name) {
+      v += value;
+      return;
+    }
+  }
+  counters.emplace_back(name, value);
+}
+
+void Collector::sample(sim::Proc& proc, const char* name, double value) {
+  samples_.push_back(CounterSample{proc.rank(), proc.now(), name, value});
+}
+
+bool Collector::balanced() const {
+  for (const auto& st : stacks_) {
+    if (!st.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Collector::open_spans(int rank) const {
+  std::vector<std::string> names;
+  auto r = static_cast<std::size_t>(rank);
+  if (r >= stacks_.size()) return names;
+  names.reserve(stacks_[r].size());
+  for (const SpanRecord& rec : stacks_[r]) names.push_back(rec.name);
+  return names;
+}
+
+void Collector::clear_events() {
+  stacks_.clear();
+  spans_.clear();
+  samples_.clear();
+}
+
+void span_counter(const char* name, std::uint64_t value) {
+  Collector* c = collector();
+  if (c != nullptr && sim::in_simulation()) {
+    c->span_counter(sim::current_proc(), name, value);
+  }
+}
+
+void counter_sample(const char* name, double value) {
+  Collector* c = collector();
+  if (c != nullptr && sim::in_simulation()) {
+    c->sample(sim::current_proc(), name, value);
+  }
+}
+
+}  // namespace paramrio::obs

@@ -1,0 +1,80 @@
+// Paper-style phase-breakdown reports over collected spans.
+//
+// Three views, mirroring the figures of the source paper:
+//
+//   * Per-rank time decomposition (Fig 3): for each rank, the cpu/comm/io
+//     split of its top-level spans plus the I/O fraction of total time —
+//     the "percentage of time in I/O" bars.
+//   * Phase table (Figs 4/5): spans grouped by name, with call counts,
+//     inclusive totals, exact cpu/comm/io decomposition and byte counters.
+//     For the HDF4 backend this reproduces the gather vs. sequential-write
+//     split; for HDF5 it attributes overhead across dataset create/close
+//     metadata sync, metadata traffic, hyperslab packing and attributes.
+//
+// All aggregation is over deterministic virtual-time spans, so a report is
+// bit-identical across runs of the same spec.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace paramrio::obs {
+
+/// Aggregate of all spans sharing one name.
+struct PhaseStats {
+  std::string name;
+  TimeCategory category = TimeCategory::kCpu;
+  std::uint64_t calls = 0;
+  double total_time = 0.0;  ///< inclusive, summed across ranks
+  double max_time = 0.0;    ///< max per-rank inclusive total
+  double cpu_time = 0.0;
+  double comm_time = 0.0;
+  double io_time = 0.0;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Per-rank rollup of top-level (depth 0) spans.
+struct RankBreakdown {
+  int rank = 0;
+  double total_time = 0.0;  ///< sum of top-level span durations
+  double cpu_time = 0.0;
+  double comm_time = 0.0;
+  double io_time = 0.0;
+
+  double io_fraction() const {
+    return total_time > 0.0 ? io_time / total_time : 0.0;
+  }
+};
+
+struct Report {
+  std::vector<RankBreakdown> ranks;
+  std::vector<PhaseStats> phases;  ///< sorted by name
+
+  /// Phase lookup by exact span name; nullptr when absent.
+  const PhaseStats* phase(const std::string& name) const;
+
+  /// Sum of a counter over phases whose name starts with `prefix`.
+  std::uint64_t counter_sum(const std::string& prefix,
+                            const std::string& counter) const;
+
+  /// Total inclusive time of phases whose name starts with `prefix`
+  /// (e.g. "hdf4.gather" vs "hdf4.topgrid" + "hdf4.subgrid").
+  double time_sum(const std::string& prefix) const;
+};
+
+/// Build a report from every finished span in `c`.  `min_depth`/`max_depth`
+/// restrict which nesting levels feed the phase table (rank breakdowns
+/// always use depth 0); the default covers phase-level instrumentation
+/// without double-counting nested leaf spans.
+Report build_report(const Collector& c, int min_depth = 0, int max_depth = 1);
+
+/// Render the rank decomposition + phase table as fixed-width text.
+void write_report(const Report& r, std::ostream& os);
+std::string report_text(const Report& r);
+
+}  // namespace paramrio::obs

@@ -1,0 +1,97 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace paramrio::obs {
+
+namespace {
+
+/// Virtual seconds -> trace-event microseconds, quantised to 1 ns and
+/// printed with fixed precision (no %g wobble across values).
+std::string ts_us(double seconds) {
+  auto ns = static_cast<long long>(std::llround(seconds * 1e9));
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld", ns / 1000,
+                ns % 1000 < 0 ? -(ns % 1000) : ns % 1000);
+  return buf;
+}
+
+void write_event_prefix(std::ostream& os, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  ";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Collector& c, std::ostream& os) {
+  // Stable order: by rank, then start time, then outermost-first — the
+  // collector's completion order is already deterministic, sorting merely
+  // makes the file browsable.
+  std::vector<const SpanRecord*> spans;
+  spans.reserve(c.spans().size());
+  for (const SpanRecord& s : c.spans()) spans.push_back(&s);
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->rank != b->rank) return a->rank < b->rank;
+                     if (a->t_start != b->t_start) {
+                       return a->t_start < b->t_start;
+                     }
+                     return a->depth < b->depth;
+                   });
+
+  int nranks = c.ranks();
+  for (const SpanRecord* s : spans) nranks = std::max(nranks, s->rank + 1);
+  for (const CounterSample& s : c.samples()) {
+    nranks = std::max(nranks, s.rank + 1);
+  }
+
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+
+  write_event_prefix(os, first);
+  os << R"({"ph":"M","pid":0,"tid":0,"name":"process_name",)"
+     << R"("args":{"name":"paramrio"}})";
+  for (int r = 0; r < nranks; ++r) {
+    write_event_prefix(os, first);
+    os << R"({"ph":"M","pid":0,"tid":)" << r
+       << R"(,"name":"thread_name","args":{"name":"rank )" << r << R"("}})";
+  }
+
+  for (const SpanRecord* s : spans) {
+    write_event_prefix(os, first);
+    os << R"({"ph":"X","pid":0,"tid":)" << s->rank << R"(,"name":")"
+       << json_escape(s->name) << R"(","cat":")" << to_string(s->category)
+       << R"(","ts":)" << ts_us(s->t_start) << R"(,"dur":)"
+       << ts_us(s->duration()) << R"(,"args":{)";
+    os << R"("cpu_us":)" << ts_us(s->cpu_dt) << R"(,"comm_us":)"
+       << ts_us(s->comm_dt) << R"(,"io_us":)" << ts_us(s->io_dt);
+    for (const auto& [name, value] : s->counters) {
+      os << R"(,")" << json_escape(name) << R"(":)" << value;
+    }
+    os << "}}";
+  }
+
+  // Counter tracks: one per (name, rank), value sampled over virtual time.
+  for (const CounterSample& s : c.samples()) {
+    write_event_prefix(os, first);
+    os << R"({"ph":"C","pid":0,"tid":)" << s.rank << R"(,"name":")"
+       << json_escape(s.name) << " (rank " << s.rank << R"x()","ts":)x"
+       << ts_us(s.time) << R"(,"args":{"value":)" << format_double(s.value)
+       << "}}";
+  }
+
+  os << "\n]\n}\n";
+}
+
+std::string chrome_trace_json(const Collector& c) {
+  std::ostringstream os;
+  write_chrome_trace(c, os);
+  return os.str();
+}
+
+}  // namespace paramrio::obs

@@ -1,0 +1,27 @@
+// Chrome trace-event / Perfetto JSON export of a Collector's spans.
+//
+// The output is the classic trace-event JSON object format — loadable in
+// chrome://tracing and https://ui.perfetto.dev — with one track (tid) per
+// simulated rank, "X" duration events for spans (args carry the span's
+// cpu/comm/io decomposition and counters) and "C" counter tracks for
+// timestamped samples such as collective-buffer high-water marks.
+//
+// Timestamps are virtual microseconds quantised to 1 ns and formatted with
+// fixed precision, so two runs of the same deterministic spec export
+// byte-identical JSON (tests enforce this).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/profiler.hpp"
+
+namespace paramrio::obs {
+
+/// Write the full trace-event JSON document for `c`.
+void write_chrome_trace(const Collector& c, std::ostream& os);
+
+/// Same, as a string (convenient for tests and small traces).
+std::string chrome_trace_json(const Collector& c);
+
+}  // namespace paramrio::obs

@@ -1,5 +1,8 @@
 #include "pfs/filesystem.hpp"
 
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+
 namespace paramrio::pfs {
 
 int FileSystem::open(const std::string& path, OpenMode mode) {
@@ -53,6 +56,8 @@ void FileSystem::read_at(int fd, std::uint64_t offset,
   }
   store_.read_at(f.path, offset, out);
   if (!sim::in_simulation()) return;  // untimed setup access
+  OBS_SPAN("pfs.read", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", out.size());
   sim::Proc& proc = sim::current_proc();
   proc.stats().io_bytes_read += out.size();
   proc.stats().io_requests += 1;
@@ -79,6 +84,8 @@ void FileSystem::write_at(int fd, std::uint64_t offset,
   if (!f.writable) throw IoError("write to read-only descriptor: " + f.path);
   store_.write_at(f.path, offset, data);
   if (!sim::in_simulation()) return;  // untimed setup access
+  OBS_SPAN("pfs.write", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", data.size());
   sim::Proc& proc = sim::current_proc();
   proc.stats().io_bytes_written += data.size();
   proc.stats().io_requests += 1;
@@ -118,6 +125,10 @@ void FileSystem::cache_insert(Intervals& iv, std::uint64_t off,
     it = iv.erase(it);
   }
   iv[lo] = hi;
+}
+
+void FileSystem::export_counters(obs::MetricsRegistry& reg) const {
+  reg.add("fs:" + name(), "cache_hit_bytes", cache_hits_);
 }
 
 const FileSystem::OpenFile& FileSystem::descriptor(int fd,

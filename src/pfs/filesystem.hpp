@@ -16,6 +16,10 @@
 #include "sim/engine.hpp"
 #include "stor/object_store.hpp"
 
+namespace paramrio::obs {
+class MetricsRegistry;
+}
+
 namespace paramrio::pfs {
 
 enum class OpenMode {
@@ -117,6 +121,11 @@ class FileSystem {
   /// Attach (or detach with nullptr) an I/O observer; every subsequent data
   /// request inside the simulation is reported to it.
   void attach_observer(IoObserver* observer) { observer_ = observer; }
+
+  /// Publish model-level counters into `reg` under scope "fs:<name>".
+  /// The base exports cache hits; subclasses add their own (GPFS write-token
+  /// transfers, PVFS server request counts) by overriding and chaining up.
+  virtual void export_counters(obs::MetricsRegistry& reg) const;
 
  protected:
   FileSystem() = default;

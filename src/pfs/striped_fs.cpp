@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace paramrio::pfs {
 
 StripedFs::StripedFs(StripedFsParams params, net::Network& network)
@@ -21,6 +23,13 @@ std::uint64_t StripedFs::total_server_requests() const {
   std::uint64_t n = 0;
   for (const auto& s : servers_) n += s.requests();
   return n;
+}
+
+void StripedFs::export_counters(obs::MetricsRegistry& reg) const {
+  FileSystem::export_counters(reg);
+  const std::string scope = "fs:" + name();
+  reg.add(scope, "server_requests", total_server_requests());
+  reg.add(scope, "write_token_transfers", token_transfers_);
 }
 
 void StripedFs::charge(sim::Proc& proc, const std::string& path,

@@ -77,6 +77,9 @@ class StripedFs final : public FileSystem {
   /// the cb_align ablation assert reductions from stripe-aligned domains).
   std::uint64_t write_token_transfers() const { return token_transfers_; }
 
+  /// Base cache counters plus token transfers and server request totals.
+  void export_counters(obs::MetricsRegistry& reg) const override;
+
   /// Striping geometry for layout-aware clients: stripe unit, server count,
   /// and the (per-object) server that owns stripe 0.
   Layout layout(const std::string& path) const override {

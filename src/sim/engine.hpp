@@ -48,6 +48,9 @@ struct ProcStats {
   std::uint64_t io_bytes_read = 0;
   std::uint64_t io_bytes_written = 0;
   std::uint64_t io_requests = 0;
+
+  /// All accounted virtual time (cpu + comm + io).
+  double total() const { return cpu_time + comm_time + io_time; }
 };
 
 /// A virtual-time FIFO-served resource: a disk, an I/O server, a NIC, a

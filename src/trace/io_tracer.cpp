@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/registry.hpp"
+
 namespace paramrio::trace {
 
 void IoTracer::record(double time, int rank, bool is_write,
@@ -145,6 +147,27 @@ std::string IoTracer::format_report(const std::string& title) const {
   format_direction(os, "reads ", r.reads);
   format_direction(os, "writes", r.writes);
   return os.str();
+}
+
+namespace {
+void export_direction(obs::MetricsRegistry& reg, const std::string& scope,
+                      const DirectionStats& d) {
+  reg.add(scope, "requests", d.requests);
+  reg.add(scope, "bytes", d.bytes);
+  reg.observe_max(scope, "max_request", d.max_request);
+  reg.set_value(scope, "mean_request", d.mean_request());
+  reg.set_value(scope, "sequential_fraction", d.sequential_fraction);
+}
+}  // namespace
+
+void IoTracer::export_counters(obs::MetricsRegistry& reg) const {
+  TraceReport r = analyze();
+  export_direction(reg, "trace:read", r.reads);
+  export_direction(reg, "trace:write", r.writes);
+  reg.add("trace", "opens", r.opens);
+  reg.add("trace", "closes", r.closes);
+  reg.set("trace", "files_touched", r.files_touched);
+  reg.set("trace", "ranks_active", r.ranks_active);
 }
 
 }  // namespace paramrio::trace

@@ -19,6 +19,10 @@
 #include "base/error.hpp"
 #include "pfs/filesystem.hpp"
 
+namespace paramrio::obs {
+class MetricsRegistry;
+}  // namespace paramrio::obs
+
 namespace paramrio::trace {
 
 /// What a trace record describes: a data request or a descriptor-lifecycle
@@ -102,6 +106,10 @@ class IoTracer final : public pfs::IoObserver {
 
   /// Human-readable report (the paper's Section-3-style summary).
   std::string format_report(const std::string& title) const;
+
+  /// Fold the analyzed trace into a metrics registry under the
+  /// "trace:read" / "trace:write" scopes.
+  void export_counters(obs::MetricsRegistry& reg) const;
 
  private:
   std::vector<IoEvent> events_;

@@ -1,0 +1,241 @@
+// Unit tests for the cross-layer profiler: span lifecycle and nesting,
+// unbalanced-instrumentation detection, category rollups against the
+// engine's own ProcStats, the metrics registry, and the determinism of the
+// Chrome-trace and report exporters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/engine.hpp"
+
+namespace paramrio::obs {
+namespace {
+
+sim::Engine::Options opts(int n) {
+  sim::Engine::Options o;
+  o.nprocs = n;
+  return o;
+}
+
+/// attach/detach guard so a failing test cannot leak a dangling collector.
+struct Attached {
+  explicit Attached(Collector& c) { attach(&c); }
+  ~Attached() { detach(); }
+};
+
+TEST(Registry, CountersAndValues) {
+  MetricsRegistry reg;
+  reg.add("s", "n", 2);
+  reg.add("s", "n", 3);
+  reg.set("s", "m", 7);
+  reg.observe_max("s", "peak", 5);
+  reg.observe_max("s", "peak", 3);
+  reg.add_value("s", "t", 1.5);
+  reg.add_value("s", "t", 0.25);
+  EXPECT_EQ(reg.get("s", "n"), 5u);
+  EXPECT_EQ(reg.get("s", "m"), 7u);
+  EXPECT_EQ(reg.get("s", "peak"), 5u);
+  EXPECT_DOUBLE_EQ(reg.get_value("s", "t"), 1.75);
+  EXPECT_EQ(reg.get("s", "absent"), 0u);
+  EXPECT_EQ(reg.get("absent", "n"), 0u);
+  EXPECT_TRUE(reg.has_scope("s"));
+  EXPECT_FALSE(reg.has_scope("absent"));
+}
+
+TEST(Registry, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 1.2345678901234567e-9,
+                   9007199254740993.0, -2.5}) {
+    EXPECT_DOUBLE_EQ(std::strtod(format_double(v).c_str(), nullptr), v);
+  }
+  EXPECT_EQ(format_double(std::nan("")), "0");  // JSON has no NaN
+}
+
+TEST(Registry, JsonEscapes) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Span, NoOpWithoutCollectorOrSimulation) {
+  // Outside a simulation even with a collector attached.
+  Collector c;
+  Attached guard(c);
+  {
+    OBS_SPAN("ignored", TimeCategory::kCpu);
+    span_counter("ignored", 1);
+    counter_sample("ignored", 1.0);
+  }
+  EXPECT_TRUE(c.spans().empty());
+  EXPECT_TRUE(c.samples().empty());
+
+  // Inside a simulation with no collector attached.
+  detach();
+  sim::Engine::run(opts(1), [](sim::Proc& p) {
+    OBS_SPAN("also_ignored", TimeCategory::kCpu);
+    p.advance(1.0);
+  });
+  EXPECT_TRUE(c.spans().empty());
+  attach(&c);  // let the guard detach cleanly
+}
+
+TEST(Span, RecordsNestingDepthAndCategoryDeltas) {
+  Collector c;
+  Attached guard(c);
+  sim::Engine::run(opts(2), [](sim::Proc& p) {
+    OBS_SPAN("outer", TimeCategory::kIo);
+    p.advance(0.5, sim::TimeCategory::kCpu);
+    {
+      OBS_SPAN("inner", TimeCategory::kComm);
+      span_counter("bytes", 100);
+      span_counter("bytes", 28);
+      p.advance(0.25, sim::TimeCategory::kComm);
+    }
+    p.advance(0.125, sim::TimeCategory::kIo);
+  });
+  ASSERT_TRUE(c.balanced());
+  ASSERT_EQ(c.spans().size(), 4u);  // 2 ranks x 2 spans
+  ASSERT_EQ(c.ranks(), 2);
+
+  for (const SpanRecord& s : c.spans()) {
+    if (s.name == "inner") {
+      EXPECT_EQ(s.depth, 1);
+      EXPECT_EQ(s.category, TimeCategory::kComm);
+      EXPECT_DOUBLE_EQ(s.comm_dt, 0.25);
+      EXPECT_DOUBLE_EQ(s.cpu_dt, 0.0);
+      // Same-name counters merge on the open span.
+      ASSERT_EQ(s.counters.size(), 1u);
+      EXPECT_EQ(s.counters[0].first, "bytes");
+      EXPECT_EQ(s.counters[0].second, 128u);
+    } else {
+      ASSERT_EQ(s.name, "outer");
+      EXPECT_EQ(s.depth, 0);
+      // Inclusive deltas: the inner span's comm time is covered too.
+      EXPECT_DOUBLE_EQ(s.cpu_dt, 0.5);
+      EXPECT_DOUBLE_EQ(s.comm_dt, 0.25);
+      EXPECT_DOUBLE_EQ(s.io_dt, 0.125);
+      EXPECT_DOUBLE_EQ(s.duration(), 0.875);
+    }
+  }
+}
+
+TEST(Span, RollupMatchesProcStats) {
+  Collector c;
+  Attached guard(c);
+  auto res = sim::Engine::run(opts(3), [](sim::Proc& p) {
+    OBS_SPAN("all", TimeCategory::kCpu);
+    p.advance(0.1 * (p.rank() + 1), sim::TimeCategory::kCpu);
+    p.advance(0.25, sim::TimeCategory::kComm);
+    p.advance(0.0625, sim::TimeCategory::kIo);
+  });
+  ASSERT_TRUE(c.balanced());
+  for (const SpanRecord& s : c.spans()) {
+    const sim::ProcStats& st = res.stats[static_cast<std::size_t>(s.rank)];
+    EXPECT_DOUBLE_EQ(s.cpu_dt, st.cpu_time);
+    EXPECT_DOUBLE_EQ(s.comm_dt, st.comm_time);
+    EXPECT_DOUBLE_EQ(s.io_dt, st.io_time);
+    EXPECT_DOUBLE_EQ(s.duration(), st.total());
+  }
+}
+
+TEST(Span, UnbalancedInstrumentationIsDetected) {
+  Collector c;
+  Attached guard(c);
+  sim::Engine::run(opts(1), [&](sim::Proc& p) {
+    c.begin_span(p, "left_open", TimeCategory::kCpu);
+    p.advance(1.0);
+  });
+  EXPECT_FALSE(c.balanced());
+  ASSERT_EQ(c.open_spans(0).size(), 1u);
+  EXPECT_EQ(c.open_spans(0)[0], "left_open");
+
+  // Ending with nothing open throws (and the engine rethrows it).
+  Collector c2;
+  attach(&c2);
+  EXPECT_THROW(
+      sim::Engine::run(opts(1), [&](sim::Proc& p) { c2.end_span(p); }),
+      LogicError);
+  attach(&c);  // restore for the guard
+}
+
+TEST(Span, CounterSamplesAreRecorded) {
+  Collector c;
+  Attached guard(c);
+  sim::Engine::run(opts(1), [](sim::Proc& p) {
+    p.advance(0.5);
+    counter_sample("window_fill", 4096.0);
+  });
+  ASSERT_EQ(c.samples().size(), 1u);
+  EXPECT_EQ(c.samples()[0].name, "window_fill");
+  EXPECT_DOUBLE_EQ(c.samples()[0].value, 4096.0);
+  EXPECT_DOUBLE_EQ(c.samples()[0].time, 0.5);
+}
+
+void run_workload(Collector& c) {
+  attach(&c);
+  sim::Engine::run(opts(2), [](sim::Proc& p) {
+    OBS_SPAN("phase_a", TimeCategory::kCpu);
+    p.advance(1.0 / 3.0);
+    counter_sample("fill", 1234.5);
+    {
+      OBS_SPAN("phase_b", TimeCategory::kIo);
+      span_counter("bytes", 4096);
+      p.advance(0.1, sim::TimeCategory::kIo);
+    }
+  });
+  detach();
+}
+
+TEST(Exporters, ChromeTraceIsDeterministicAndWellFormed) {
+  Collector a, b;
+  run_workload(a);
+  run_workload(b);
+  std::string ja = chrome_trace_json(a);
+  std::string jb = chrome_trace_json(b);
+  EXPECT_EQ(ja, jb);  // byte-identical across identical runs
+
+  // Structural spot-checks (full JSON parsing is CI's job).
+  EXPECT_NE(ja.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(ja.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(ja.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(ja.find("\"rank 1\""), std::string::npos);
+  EXPECT_NE(ja.find("phase_b"), std::string::npos);
+  EXPECT_EQ(ja.find("\n\n"), std::string::npos);
+}
+
+TEST(Exporters, RegistryJsonIsDeterministic) {
+  Collector a, b;
+  run_workload(a);
+  run_workload(b);
+  a.registry().add("net", "bytes", 42);
+  b.registry().add("net", "bytes", 42);
+  EXPECT_EQ(a.registry().to_json(2), b.registry().to_json(2));
+  EXPECT_NE(a.registry().to_json(2).find("\"net\""), std::string::npos);
+}
+
+TEST(Exporters, ReportAggregatesPhases) {
+  Collector c;
+  run_workload(c);
+  Report r = build_report(c);
+  ASSERT_EQ(r.ranks.size(), 2u);
+  const PhaseStats* a = r.phase("phase_a");
+  const PhaseStats* b = r.phase("phase_b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->calls, 2u);
+  EXPECT_NEAR(a->total_time, 2.0 * (1.0 / 3.0 + 0.1), 1e-12);
+  EXPECT_NEAR(b->io_time, 0.2, 1e-12);
+  EXPECT_EQ(r.counter_sum("phase_b", "bytes"), 8192u);
+  // Per-rank decomposition covers each rank's whole accounted time.
+  for (const RankBreakdown& rb : r.ranks) {
+    EXPECT_NEAR(rb.total_time, 1.0 / 3.0 + 0.1, 1e-12);
+  }
+  std::string text = report_text(r);
+  EXPECT_NE(text.find("phase_a"), std::string::npos);
+  EXPECT_NE(text.find("io-frac"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paramrio::obs

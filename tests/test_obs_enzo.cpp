@@ -1,0 +1,170 @@
+// End-to-end profiler tests over the real application: every backend's
+// checkpoint dump must be almost fully covered by named phase spans, the
+// per-file statistics must land in the registry, the paper-figure reports
+// must contain their phases, and traces must be byte-identical across runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness.hpp"
+#include "obs/report.hpp"
+#include "obs/trace_export.hpp"
+
+namespace paramrio::bench {
+namespace {
+
+enzo::SimulationConfig tiny_config() {
+  enzo::SimulationConfig c;
+  c.root_dims = {16, 16, 16};
+  c.particles_per_cell = 0.25;
+  c.compute_per_cell = 0.0;
+  return c;
+}
+
+RunSpec tiny_spec(Backend b, obs::Collector* col) {
+  RunSpec spec;
+  spec.machine = platform::origin2000_xfs();
+  spec.config = tiny_config();
+  spec.nprocs = 4;
+  spec.backend = b;
+  spec.collector = col;
+  return spec;
+}
+
+class ObsBackend : public ::testing::TestWithParam<Backend> {};
+
+// The acceptance property: depth-1 categorized spans account for >= 95% of
+// each rank's dump wall time, under every backend.
+TEST_P(ObsBackend, PhaseSpansCoverDumpTime) {
+  obs::Collector col;
+  run_enzo_io(tiny_spec(GetParam(), &col));
+  ASSERT_TRUE(col.balanced());
+
+  int dumps_seen = 0;
+  for (const obs::SpanRecord& dump : col.spans()) {
+    if (dump.name != "dump" || dump.depth != 0) continue;
+    ++dumps_seen;
+    double covered = 0.0;
+    for (const obs::SpanRecord& child : col.spans()) {
+      if (child.rank != dump.rank || child.depth != 1) continue;
+      if (child.t_start < dump.t_start || child.t_end > dump.t_end) continue;
+      covered += child.cpu_dt + child.comm_dt + child.io_dt;
+    }
+    double wall = dump.duration();
+    if (wall > 0.0) {
+      EXPECT_GE(covered, 0.95 * wall)
+          << to_string(GetParam()) << " rank " << dump.rank << ": phases "
+          << covered << "s of " << wall << "s dump";
+    }
+  }
+  EXPECT_EQ(dumps_seen, 4);  // one depth-0 dump span per rank
+}
+
+// Spans and the engine agree: the sum of each rank's depth-0 span deltas
+// can never exceed what the engine accounted to that rank.
+TEST_P(ObsBackend, RankBreakdownIsConsistent) {
+  obs::Collector col;
+  run_enzo_io(tiny_spec(GetParam(), &col));
+  obs::Report r = obs::build_report(col);
+  ASSERT_EQ(r.ranks.size(), 4u);
+  for (const obs::RankBreakdown& rb : r.ranks) {
+    const std::string scope = "rank" + std::to_string(rb.rank);
+    ASSERT_TRUE(col.registry().has_scope(scope));
+    double engine_total = col.registry().get_value(scope, "total_time");
+    EXPECT_LE(rb.total_time, engine_total + 1e-9);
+    EXPECT_GT(rb.io_time, 0.0);  // a dump without I/O is not a dump
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ObsBackend,
+                         ::testing::Values(Backend::kHdf4, Backend::kMpiIo,
+                                           Backend::kHdf5, Backend::kPnetcdf),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(ObsEnzo, FileStatsPersistIntoRegistry) {
+  obs::Collector col;
+  run_enzo_io(tiny_spec(Backend::kMpiIo, &col));
+  // File::close() folded its FileStats into "file:<path>|<hints_key>".
+  const obs::MetricsRegistry& reg = col.registry();
+  std::string file_scope;
+  for (const auto& [scope, _] : reg.scopes()) {
+    if (scope.rfind("file:dump.enzo|", 0) == 0) file_scope = scope;
+  }
+  ASSERT_FALSE(file_scope.empty()) << reg.format();
+  EXPECT_GT(reg.get(file_scope, "collective_ops"), 0u);
+  EXPECT_GT(reg.get(file_scope, "two_phase_windows"), 0u);
+  EXPECT_GT(reg.get(file_scope, "cb_peak_window_bytes"), 0u);
+  // Engine + network totals rode along.
+  EXPECT_GT(reg.get("proc", "io_bytes_written"), 0u);
+  EXPECT_GT(reg.get("net", "bytes"), 0u);
+  EXPECT_GT(reg.get_value("proc", "makespan"), 0.0);
+}
+
+TEST(ObsEnzo, TracerStatsLandInRegistry) {
+  obs::Collector col;
+  trace::IoTracer tracer;
+  RunSpec spec = tiny_spec(Backend::kMpiIo, &col);
+  spec.tracer = &tracer;
+  run_enzo_io(spec);
+  const obs::MetricsRegistry& reg = col.registry();
+  EXPECT_GT(reg.get("trace:write", "requests"), 0u);
+  EXPECT_GT(reg.get("trace:read", "bytes"), 0u);
+  EXPECT_GT(reg.get("trace", "opens"), 0u);
+  EXPECT_GE(reg.get_value("trace:write", "sequential_fraction"), 0.0);
+}
+
+// Fig 4-style attribution: the HDF4 backend's dump decomposes into a
+// gather (comm) phase and sequential write (io) phases.
+TEST(ObsEnzo, Hdf4ReportSplitsGatherFromWrites) {
+  obs::Collector col;
+  run_enzo_io(tiny_spec(Backend::kHdf4, &col));
+  obs::Report r = obs::build_report(col);
+  const obs::PhaseStats* gather = r.phase("hdf4.gather");
+  ASSERT_NE(gather, nullptr);
+  EXPECT_GT(gather->comm_time, 0.0);
+  double write_io =
+      r.time_sum("hdf4.topgrid_write") + r.time_sum("hdf4.subgrid_write");
+  EXPECT_GT(write_io, 0.0);
+  const obs::PhaseStats* top = r.phase("hdf4.topgrid_write");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->calls, 1u);  // only rank 0 writes the top grid
+  EXPECT_GT(top->io_time, 0.0);
+}
+
+// Fig 5/10-style attribution: the HDF5 backend's overheads (metadata sync
+// in dataset create/close, hyperslab packing) appear as nested spans.
+TEST(ObsEnzo, Hdf5OverheadsAreAttributed) {
+  obs::Collector col;
+  run_enzo_io(tiny_spec(Backend::kHdf5, &col));
+  double sync = 0.0, pack_steps = 0.0, creates = 0.0;
+  for (const obs::SpanRecord& s : col.spans()) {
+    if (s.name == "hdf5.metadata_sync") sync += s.comm_dt;
+    if (s.name == "hdf5.dataset_create") creates += 1.0;
+    if (s.name == "hdf5.pack") {
+      for (const auto& [name, v] : s.counters) {
+        if (name == "pack_steps") pack_steps += static_cast<double>(v);
+      }
+    }
+  }
+  EXPECT_GT(sync, 0.0);
+  EXPECT_GT(creates, 0.0);
+  EXPECT_GT(pack_steps, 0.0);
+}
+
+TEST(ObsEnzo, TraceAndReportAreByteIdenticalAcrossRuns) {
+  obs::Collector a, b;
+  run_enzo_io(tiny_spec(Backend::kMpiIo, &a));
+  run_enzo_io(tiny_spec(Backend::kMpiIo, &b));
+  EXPECT_EQ(obs::chrome_trace_json(a), obs::chrome_trace_json(b));
+  EXPECT_EQ(obs::report_text(obs::build_report(a)),
+            obs::report_text(obs::build_report(b)));
+  EXPECT_EQ(a.registry().to_json(2), b.registry().to_json(2));
+}
+
+}  // namespace
+}  // namespace paramrio::bench
