@@ -62,7 +62,8 @@ std::uint64_t dump_payload_bytes(const enzo::SimulationState& s,
 /// Fold a finished run's engine, file-system, network and trace statistics
 /// into the collector's registry ("rankN", "proc", "fs:*", "net", "trace:*").
 void absorb_run_stats(obs::Collector& col, const sim::Engine::Result& res,
-                      platform::Testbed& tb, const trace::IoTracer* tracer) {
+                      platform::Testbed& tb, const trace::IoTracer* tracer,
+                      const fault::Injector* injector) {
   obs::MetricsRegistry& reg = col.registry();
   for (std::size_t r = 0; r < res.stats.size(); ++r) {
     const sim::ProcStats& s = res.stats[r];
@@ -90,6 +91,7 @@ void absorb_run_stats(obs::Collector& col, const sim::Engine::Result& res,
   tb.fs().export_counters(reg);
   tb.runtime().network().export_counters(reg);
   if (tracer) tracer->export_counters(reg);
+  if (injector) injector->export_counters(reg);
 }
 }  // namespace
 
@@ -98,6 +100,11 @@ IoResult run_enzo_io(const RunSpec& spec) {
   IoResult result;
 
   if (spec.tracer) tb.fs().attach_observer(spec.tracer);
+  if (spec.injector) {
+    tb.fs().attach_fault_hook(spec.injector);
+    tb.runtime().network().attach_fault_hook(spec.injector);
+  }
+  tb.fs().set_retry(spec.fs_retry);
   if (spec.collector) obs::attach(spec.collector);
 
   sim::Engine::Result engine_result = tb.runtime().run([&](mpi::Comm& c) {
@@ -153,10 +160,15 @@ IoResult run_enzo_io(const RunSpec& spec) {
   });
 
   if (spec.collector) {
-    absorb_run_stats(*spec.collector, engine_result, tb, spec.tracer);
+    absorb_run_stats(*spec.collector, engine_result, tb, spec.tracer,
+                     spec.injector);
     obs::detach();
   }
   if (spec.tracer) tb.fs().attach_observer(nullptr);
+  if (spec.injector) {
+    tb.fs().attach_fault_hook(nullptr);
+    tb.runtime().network().attach_fault_hook(nullptr);
+  }
   return result;
 }
 

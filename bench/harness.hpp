@@ -9,6 +9,7 @@
 
 #include "enzo/backends.hpp"
 #include "enzo/simulation.hpp"
+#include "fault/fault.hpp"
 #include "hdf5/h5_file.hpp"
 #include "obs/profiler.hpp"
 #include "platform/machine.hpp"
@@ -45,6 +46,15 @@ struct RunSpec {
   obs::Collector* collector = nullptr;
   /// Optional per-request tracer, attached to the testbed file system.
   trace::IoTracer* tracer = nullptr;
+
+  /// Optional fault injector: attached to the testbed's file system and
+  /// network for the duration of the run; when a collector is present its
+  /// counters are folded into the registry under scope "fault".  Pair with
+  /// hints.retry (MPI-IO-based backends) and/or fs_retry (direct-fs paths:
+  /// the HDF4 backend, hierarchy files) to measure fault survival.
+  fault::Injector* injector = nullptr;
+  /// File-system-level retry policy installed on the testbed fs.
+  fault::RetryPolicy fs_retry;
 };
 
 /// Execute: initialise from the universe, evolve, timed checkpoint write,

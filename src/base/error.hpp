@@ -29,6 +29,23 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// Transient file-system failure (the EIO a loaded I/O server returns, a
+/// dropped storage RPC): the operation did not happen, but retrying it may
+/// succeed.  Retry layers catch exactly this type; everything else in the
+/// IoError hierarchy stays fatal.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what) : IoError(what) {}
+};
+
+/// Injected whole-process crash (fault injection only).  Never retried:
+/// it unwinds the rank, aborts the Engine run, and is rethrown to the
+/// caller of Engine::run / Runtime::run.
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& what) : Error(what) {}
+};
+
 /// Malformed on-disk structure in one of the scientific file formats.
 class FormatError : public Error {
  public:

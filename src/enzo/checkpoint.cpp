@@ -1,0 +1,83 @@
+#include "enzo/checkpoint.hpp"
+
+#include <vector>
+
+#include "base/byte_io.hpp"
+#include "base/error.hpp"
+#include "mpi/comm.hpp"
+
+namespace paramrio::enzo {
+
+namespace {
+
+// "CKPT-OK!" — eight bytes naming the marker format.
+constexpr std::uint64_t kMarkerMagic = 0x434b50542d4f4b21ULL;
+
+}  // namespace
+
+void CheckpointSeries::dump(mpi::Comm& comm, const SimulationState& state,
+                            std::uint64_t gen) {
+  backend_.write_dump(comm, state, gen_base(gen));
+  // Every rank's data must be in the store before the marker can claim the
+  // generation is complete.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    ByteWriter w;
+    w.u64(kMarkerMagic);
+    w.u64(gen);
+    auto bytes = w.take();
+    int fd = fs_.open(marker_path(gen), pfs::OpenMode::kCreate);
+    std::uint64_t done = 0;
+    while (done < bytes.size()) {
+      done += fs_.write_at(
+          fd, done, std::span<const std::byte>(bytes).subspan(done));
+    }
+    fs_.close(fd);
+  }
+  // No rank may report the dump done before the marker is published.
+  comm.barrier();
+}
+
+bool CheckpointSeries::committed(std::uint64_t gen) const {
+  const auto& store = fs_.store();
+  const std::string marker = marker_path(gen);
+  if (!store.exists(marker)) return false;
+  std::vector<std::byte> raw(store.size(marker));
+  if (raw.size() != 16) return false;
+  store.read_at(marker, 0, raw);
+  ByteReader r(raw);
+  return r.u64() == kMarkerMagic && r.u64() == gen;
+}
+
+bool CheckpointSeries::torn(std::uint64_t gen) const {
+  if (committed(gen)) return false;
+  const std::string marker = marker_path(gen);
+  const std::string prefix = gen_base(gen) + ".";
+  for (const auto& name : fs_.store().list()) {
+    if (name == marker) continue;
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> CheckpointSeries::latest_committed(
+    std::uint64_t max_gen) const {
+  for (std::uint64_t gen = max_gen;; --gen) {
+    if (committed(gen)) return gen;
+    if (gen == 0) return std::nullopt;
+  }
+}
+
+std::uint64_t CheckpointSeries::restore_latest(mpi::Comm& comm,
+                                               SimulationState& state,
+                                               std::uint64_t max_gen) {
+  auto gen = latest_committed(max_gen);
+  if (!gen) {
+    throw IoError("CheckpointSeries: no committed generation <= " +
+                  std::to_string(max_gen) + " under " + base_);
+  }
+  backend_.read_restart(comm, state, gen_base(*gen));
+  return *gen;
+}
+
+}  // namespace paramrio::enzo

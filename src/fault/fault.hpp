@@ -1,0 +1,216 @@
+// Deterministic, seed-driven fault injection for the simulated I/O stack.
+//
+// A FaultPlan is a declarative list of FaultSpecs.  Each spec matches a
+// subset of operations (by rank, I/O server, path substring, byte-offset
+// range, direction) and a schedule (op-count window, virtual-time window,
+// per-op probability, total and consecutive budgets), and names the fault to
+// inject when it fires:
+//
+//   * kShortWrite / kShortRead — the operation transfers only a prefix
+//   * kTransientError          — TransientIoError; retryable, no bytes move
+//   * kStall                   — the op completes after an extra virtual-time
+//                                delay (a loaded I/O server)
+//   * kServerDown              — every matching op fails with
+//                                TransientIoError while the spec's virtual-
+//                                time window is open; degraded() reports the
+//                                outage so collectives can fall back
+//   * kCrash                   — CrashError; unwinds the rank and aborts the
+//                                Engine run (a mid-dump node crash)
+//   * kMsgDrop / kMsgDup       — a network message is lost (sender pays the
+//                                wasted transfer plus a retransmit timeout)
+//                                or duplicated (extra wire traffic); payload
+//                                delivery stays exactly-once, so these are
+//                                timing/counter faults only
+//
+// The Injector draws from a SplitMix64 generator seeded by the plan, so a
+// (plan, op stream) pair always yields the same faults: runs are replayable
+// bit-for-bit, which is what makes the backend-differential tests possible.
+//
+// The hook interfaces live here (not in pfs/net) so this library depends
+// only on base; pfs, net and mpi depend on fault, never the reverse.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace paramrio::obs {
+class MetricsRegistry;
+}
+
+namespace paramrio::fault {
+
+enum class FaultKind : std::uint8_t {
+  kShortWrite,
+  kShortRead,
+  kTransientError,
+  kStall,
+  kServerDown,
+  kCrash,
+  kMsgDrop,
+  kMsgDup,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One fault rule: what to inject, which operations it matches, when it is
+/// armed, and how often it fires.  Default-constructed matchers match
+/// everything; default scheduling fires on every matching op.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTransientError;
+
+  // ---- matchers (I/O ops; kMsgDrop/kMsgDup use rank = sender) ----------
+  int rank = -1;            ///< calling rank; -1 = any
+  int server = -1;          ///< I/O server of the op's first byte; -1 = any
+  std::string path_substr;  ///< substring of the file path; empty = any
+  bool match_reads = true;
+  bool match_writes = true;
+  std::uint64_t offset_lo = 0;  ///< [offset_lo, offset_hi) of the op's start
+  std::uint64_t offset_hi = std::numeric_limits<std::uint64_t>::max();
+
+  // ---- scheduling ------------------------------------------------------
+  /// Op-count window [first_op, last_op) over the injector's global op
+  /// serial (I/O ops and messages count separately).
+  std::uint64_t first_op = 0;
+  std::uint64_t last_op = std::numeric_limits<std::uint64_t>::max();
+  /// Virtual-time window [after_time, until_time); kServerDown outages are
+  /// exactly this window.
+  double after_time = 0.0;
+  double until_time = std::numeric_limits<double>::infinity();
+  /// Chance a matching op is faulted (deterministic seeded draw).
+  double probability = 1.0;
+  /// Total times this spec may fire.
+  std::uint64_t max_faults = std::numeric_limits<std::uint64_t>::max();
+  /// Bound on *consecutive* hits of the same operation (same rank, path,
+  /// offset, size, direction): after this many, the op is let through once.
+  /// Keeps every transient-failure run finite so a bounded retry budget
+  /// always converges — the premise of the retry property tests.
+  std::uint64_t max_consecutive =
+      std::numeric_limits<std::uint64_t>::max();
+
+  // ---- fault parameters ------------------------------------------------
+  double short_fraction = 0.5;  ///< fraction of the request that lands
+  double stall_seconds = 0.0;   ///< extra delay for kStall
+};
+
+/// A reproducible fault schedule: seed + rules.  Two injectors built from
+/// equal plans behave identically on equal op streams.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+};
+
+/// What the file system should do to the current I/O operation.
+struct IoFaultAction {
+  enum class Kind : std::uint8_t {
+    kPass,
+    kShort,           ///< transfer only `transfer` bytes
+    kTransientError,  ///< throw TransientIoError, no bytes move
+    kStall,           ///< advance `stall_seconds`, then proceed
+    kCrash,           ///< throw CrashError
+  };
+  Kind kind = Kind::kPass;
+  std::uint64_t transfer = 0;
+  double stall_seconds = 0.0;
+};
+
+/// Consulted by pfs::FileSystem for every in-simulation data operation.
+class IoFaultHook {
+ public:
+  virtual ~IoFaultHook() = default;
+  /// `server` is the I/O server holding the op's first byte (-1 when the
+  /// file system is unstriped).
+  virtual IoFaultAction on_io(int rank, double now, bool is_write,
+                              const std::string& path, std::uint64_t offset,
+                              std::uint64_t bytes, int server) = 0;
+  /// True while any I/O server is down at virtual time `now`; two-phase
+  /// collectives consult this (collectively) to fall back to independent
+  /// access instead of funnelling data through an aggregator whose server
+  /// cannot serve it.
+  virtual bool degraded(double now) const {
+    (void)now;
+    return false;
+  }
+};
+
+/// What the network should do to the message being sent.
+struct NetFaultAction {
+  enum class Kind : std::uint8_t { kPass, kDrop, kDuplicate };
+  Kind kind = Kind::kPass;
+};
+
+/// Consulted by net::Network for every point-to-point send.
+class NetFaultHook {
+ public:
+  virtual ~NetFaultHook() = default;
+  virtual NetFaultAction on_message(int src_rank, int dst_rank,
+                                    std::uint64_t bytes, double now) = 0;
+};
+
+/// Per-kind injection counters plus the op serials the schedules run on.
+struct InjectorCounters {
+  std::uint64_t io_ops = 0;    ///< I/O operations observed
+  std::uint64_t messages = 0;  ///< network sends observed
+  std::uint64_t injected[8] = {0, 0, 0, 0, 0, 0, 0, 0};  ///< by FaultKind
+
+  std::uint64_t injected_total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t k : injected) n += k;
+    return n;
+  }
+  std::uint64_t count(FaultKind kind) const {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// The standard FaultPlan interpreter: implements both hooks, draws from a
+/// seeded SplitMix64, and keeps deterministic counters.  Specs are evaluated
+/// in plan order; the first one that fires wins.  set_enabled(false) lets a
+/// test disarm injection between run phases (e.g. fault the dump, then
+/// restore cleanly) without detaching the hook.
+class Injector : public IoFaultHook, public NetFaultHook {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  IoFaultAction on_io(int rank, double now, bool is_write,
+                      const std::string& path, std::uint64_t offset,
+                      std::uint64_t bytes, int server) override;
+  bool degraded(double now) const override;
+  NetFaultAction on_message(int src_rank, int dst_rank, std::uint64_t bytes,
+                            double now) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  const InjectorCounters& counters() const { return counters_; }
+
+  /// Publish counters into `reg` under `scope` ("fault" by default):
+  /// io_ops_seen, messages_seen, injected_total and one injected_<kind>
+  /// counter per fault kind that fired.
+  void export_counters(obs::MetricsRegistry& reg,
+                       const std::string& scope = "fault") const;
+
+ private:
+  struct SpecState {
+    std::uint64_t fired = 0;        ///< total fires
+    std::uint64_t consecutive = 0;  ///< current same-site run length
+    std::uint64_t site = 0;         ///< hash of the last faulted site
+  };
+
+  /// Whether `spec` fires for this op; updates per-spec budgets.
+  bool io_spec_fires(std::size_t i, const FaultSpec& spec, int rank,
+                     double now, bool is_write, const std::string& path,
+                     std::uint64_t offset, std::uint64_t bytes, int server);
+
+  FaultPlan plan_;
+  Rng rng_;
+  bool enabled_ = true;
+  std::vector<SpecState> state_;
+  InjectorCounters counters_;
+};
+
+}  // namespace paramrio::fault

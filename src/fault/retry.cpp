@@ -1,0 +1,26 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace paramrio::fault {
+
+double backoff_delay(const RetryPolicy& policy, int attempt) {
+  double d = policy.backoff_base;
+  for (int i = 0; i < attempt; ++i) {
+    d *= policy.backoff_factor;
+    if (d >= policy.backoff_max) break;
+  }
+  return std::clamp(d, 0.0, policy.backoff_max);
+}
+
+std::string retry_key(const RetryPolicy& policy) {
+  if (!policy.enabled()) return "r0";
+  std::ostringstream os;
+  os << "r" << policy.max_retries << ",b" << policy.backoff_base << ",f"
+     << policy.backoff_factor << ",m" << policy.backoff_max << ",v"
+     << (policy.verify_short_writes ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace paramrio::fault

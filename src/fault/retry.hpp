@@ -1,0 +1,64 @@
+// Retry/backoff policy shared by every layer that survives transient I/O
+// faults: the pfs-level retry loop (protecting serial libraries like the
+// HDF4 writer that talk to the file system directly) and mpi::io::File
+// (protecting the ROMIO-style independent and two-phase collective paths).
+//
+// Delays are *virtual-clock* seconds: a retrying rank charges the backoff to
+// its simulated processor via sim::Proc::advance, so retries cost virtual
+// time exactly like a real blocked I/O call would, and runs stay
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paramrio::fault {
+
+struct RetryPolicy {
+  /// Re-attempts after the first failure; 0 disables retrying (transient
+  /// errors propagate to the caller unchanged).
+  int max_retries = 0;
+  /// Delay before the first re-attempt, in virtual seconds.
+  double backoff_base = 500e-6;
+  /// Multiplier applied per further attempt (exponential backoff).
+  double backoff_factor = 2.0;
+  /// Ceiling on a single delay, in virtual seconds.
+  double backoff_max = 0.1;
+  /// Read back the landed prefix of a retryable short write and compare it
+  /// against the source buffer before resuming (mpi::io::File only).
+  bool verify_short_writes = true;
+  /// Record every backoff delay in RetryStats::delay_log (tests).
+  bool log_delays = false;
+
+  bool enabled() const { return max_retries > 0; }
+};
+
+/// Backoff delay before re-attempt `attempt` (0-based), capped at
+/// backoff_max.  Pure: monotone non-decreasing in `attempt` for any policy
+/// with backoff_factor >= 1 — the property the retry tests pin down.
+double backoff_delay(const RetryPolicy& policy, int attempt);
+
+/// One logged backoff: which retried operation (per-File serial) and how
+/// long it slept on the virtual clock.
+struct RetryDelay {
+  std::uint64_t op = 0;
+  double seconds = 0.0;
+};
+
+/// Counters a retrying layer accumulates (embedded in mpi::io::FileStats).
+struct RetryStats {
+  std::uint64_t retries = 0;              ///< re-attempts performed
+  std::uint64_t transient_errors = 0;     ///< TransientIoError observed
+  std::uint64_t short_writes = 0;         ///< writes that landed short
+  std::uint64_t short_reads = 0;          ///< reads that returned short
+  std::uint64_t write_verifications = 0;  ///< short-write read-back checks
+  double backoff_seconds = 0.0;           ///< total virtual backoff slept
+  std::vector<RetryDelay> delay_log;      ///< filled when log_delays is set
+};
+
+/// Compact rendering for the hints key ("r4,b0.0005,f2,m0.1"); "r0" when
+/// retrying is disabled.
+std::string retry_key(const RetryPolicy& policy);
+
+}  // namespace paramrio::fault

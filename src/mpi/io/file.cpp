@@ -13,7 +13,8 @@ std::string hints_key(const Hints& h) {
                     ",ds=" + std::to_string(h.ds_buffer_size) +
                     ",dsr=" + std::to_string(h.data_sieving_reads ? 1 : 0) +
                     ",dsw=" + std::to_string(h.data_sieving_writes ? 1 : 0) +
-                    ",wb=" + std::to_string(h.wb_buffer_size);
+                    ",wb=" + std::to_string(h.wb_buffer_size) + "," +
+                    fault::retry_key(h.retry);
   return key;
 }
 
@@ -67,6 +68,134 @@ void File::persist_stats() {
   reg.add(scope, "cb_straddle_windows", stats_.cb_straddle_windows);
   reg.add(scope, "cb_token_saves", stats_.cb_token_saves);
   reg.observe_max(scope, "cb_peak_window_bytes", stats_.cb_peak_window_bytes);
+  // Fault-survival counters, persisted only when something actually fired so
+  // clean runs keep their registry (and trace export) byte-identical.
+  const fault::RetryStats& rs = stats_.retry;
+  if (rs.retries > 0) reg.add(scope, "io_retries", rs.retries);
+  if (rs.transient_errors > 0) {
+    reg.add(scope, "transient_io_errors", rs.transient_errors);
+  }
+  if (rs.short_writes > 0) reg.add(scope, "short_writes", rs.short_writes);
+  if (rs.short_reads > 0) reg.add(scope, "short_reads", rs.short_reads);
+  if (rs.write_verifications > 0) {
+    reg.add(scope, "write_verifications", rs.write_verifications);
+  }
+  if (rs.backoff_seconds > 0.0) {
+    reg.add_value(scope, "backoff_seconds", rs.backoff_seconds);
+  }
+  if (stats_.collective_fallbacks > 0) {
+    reg.add(scope, "collective_fallbacks", stats_.collective_fallbacks);
+  }
+}
+
+// ---- fault-surviving fs access --------------------------------------------
+//
+// Every byte a File moves goes through fs_read/fs_write.  They implement the
+// POSIX-style resume loop (a short transfer is continued from where it
+// stopped — always on, since silently accepting a short write would corrupt
+// the file) and, when hints.retry is enabled, absorb TransientIoError with
+// exponential backoff on the virtual clock and verify the landed prefix of
+// short writes by reading it back.
+
+bool File::try_backoff(int* attempt, std::uint64_t op_serial) {
+  stats_.retry.transient_errors += 1;
+  if (*attempt >= hints_.retry.max_retries) return false;
+  const double delay = fault::backoff_delay(hints_.retry, *attempt);
+  *attempt += 1;
+  stats_.retry.retries += 1;
+  stats_.retry.backoff_seconds += delay;
+  if (hints_.retry.log_delays) {
+    stats_.retry.delay_log.push_back({op_serial, delay});
+  }
+  if (sim::in_simulation()) {
+    sim::current_proc().advance(delay, sim::TimeCategory::kIo);
+  }
+  return true;
+}
+
+void File::fs_read(std::uint64_t offset, std::span<std::byte> out) {
+  if (out.empty()) {
+    fs_.read_at(fd_, offset, out);
+    return;
+  }
+  const std::uint64_t op = retry_op_serial_++;
+  std::uint64_t done = 0;
+  int attempt = 0;
+  while (done < out.size()) {
+    std::uint64_t got = 0;
+    try {
+      got = fs_.read_at(fd_, offset + done, out.subspan(done));
+    } catch (const TransientIoError&) {
+      if (!try_backoff(&attempt, op)) throw;
+      continue;
+    }
+    if (got < out.size() - done) stats_.retry.short_reads += 1;
+    done += got;
+    if (done < out.size() && got == 0) {
+      // Zero progress is indistinguishable from a failure; it consumes
+      // retry budget so a dead-in-the-water file system cannot loop us.
+      if (!try_backoff(&attempt, op)) {
+        throw TransientIoError("read_at(" + path_ +
+                               "): no progress after retries");
+      }
+    }
+  }
+}
+
+void File::fs_write(std::uint64_t offset, std::span<const std::byte> data) {
+  if (data.empty()) {
+    fs_.write_at(fd_, offset, data);
+    return;
+  }
+  const std::uint64_t op = retry_op_serial_++;
+  std::uint64_t done = 0;
+  int attempt = 0;
+  std::vector<std::byte> verify;
+  while (done < data.size()) {
+    std::uint64_t wrote = 0;
+    try {
+      wrote = fs_.write_at(fd_, offset + done, data.subspan(done));
+    } catch (const TransientIoError&) {
+      if (!try_backoff(&attempt, op)) throw;
+      continue;
+    }
+    if (wrote < data.size() - done) {
+      stats_.retry.short_writes += 1;
+      if (hints_.retry.enabled() && hints_.retry.verify_short_writes &&
+          wrote > 0) {
+        // Read the landed prefix back before resuming behind it: a short
+        // write that also corrupted its prefix must be redone, not resumed.
+        verify.resize(wrote);
+        bool rewrite = false;
+        try {
+          const std::uint64_t vgot =
+              fs_.read_at(fd_, offset + done, std::span<std::byte>(verify));
+          stats_.retry.write_verifications += 1;
+          rewrite = !std::equal(
+              verify.begin(),
+              verify.begin() + static_cast<std::ptrdiff_t>(vgot),
+              data.begin() + static_cast<std::ptrdiff_t>(done));
+        } catch (const TransientIoError&) {
+          // The verification read itself failed transiently; the landed
+          // prefix is still the store's truth, so resume optimistically.
+        }
+        if (rewrite) {
+          if (!try_backoff(&attempt, op)) {
+            throw TransientIoError("write_at(" + path_ +
+                                   "): verification mismatch");
+          }
+          continue;  // rewrite the remainder including the bad prefix
+        }
+      }
+    }
+    done += wrote;
+    if (done < data.size() && wrote == 0) {
+      if (!try_backoff(&attempt, op)) {
+        throw TransientIoError("write_at(" + path_ +
+                               "): no progress after retries");
+      }
+    }
+  }
 }
 
 void File::set_view(std::uint64_t disp, Datatype filetype) {
@@ -89,7 +218,7 @@ void File::flush() {
   OBS_SPAN("mpiio.wb_flush", sim::TimeCategory::kIo);
   stats_.wb_flushes += 1;
   for (const auto& [offset, data] : wb_runs_) {
-    fs_.write_at(fd_, offset, data);
+    fs_write(offset, data);
   }
   wb_runs_.clear();
   wb_bytes_ = 0;
@@ -169,13 +298,13 @@ void File::write_at(std::uint64_t offset, std::span<const std::byte> buf) {
 void File::independent_read(const std::vector<Segment>& segs,
                             std::span<std::byte> buf) {
   if (segs.size() == 1) {
-    fs_.read_at(fd_, segs[0].offset, buf);
+    fs_read(segs[0].offset, buf);
     return;
   }
   if (!hints_.data_sieving_reads) {
     std::uint64_t pos = 0;
     for (const Segment& s : segs) {
-      fs_.read_at(fd_, s.offset, buf.subspan(pos, s.length));
+      fs_read(s.offset, buf.subspan(pos, s.length));
       pos += s.length;
     }
     return;
@@ -195,7 +324,7 @@ void File::independent_read(const std::vector<Segment>& segs,
     std::uint64_t we = std::min(w + hints_.ds_buffer_size, hull_hi);
     stats_.sieve_windows += 1;
     std::span<std::byte> win(sieve.data(), we - w);
-    fs_.read_at(fd_, w, win);
+    fs_read(w, win);
     while (si < segs.size()) {
       std::uint64_t so = segs[si].offset + seg_done;
       if (so >= we) break;
@@ -217,13 +346,13 @@ void File::independent_read(const std::vector<Segment>& segs,
 void File::independent_write(const std::vector<Segment>& segs,
                              std::span<const std::byte> buf) {
   if (segs.size() == 1) {
-    fs_.write_at(fd_, segs[0].offset, buf);
+    fs_write(segs[0].offset, buf);
     return;
   }
   if (!hints_.data_sieving_writes) {
     std::uint64_t pos = 0;
     for (const Segment& s : segs) {
-      fs_.write_at(fd_, s.offset, buf.subspan(pos, s.length));
+      fs_write(s.offset, buf.subspan(pos, s.length));
       pos += s.length;
     }
     return;
@@ -261,8 +390,7 @@ void File::independent_write(const std::vector<Segment>& segs,
       std::uint64_t readable =
           hull_lo < fsize ? std::min(hull, fsize - hull_lo) : 0;
       if (readable > 0) {
-        fs_.read_at(fd_, hull_lo,
-                    std::span<std::byte>(sieve.data(), readable));
+        fs_read(hull_lo, std::span<std::byte>(sieve.data(), readable));
       }
       for (std::size_t k = i; k < j; ++k) {
         std::copy_n(
@@ -279,10 +407,9 @@ void File::independent_write(const std::vector<Segment>& segs,
       std::uint64_t run_hi = hull_lo + readable;
       auto write_run = [&]() {
         if (run_hi > run_lo) {
-          fs_.write_at(fd_, run_lo,
-                       std::span<const std::byte>(
-                           sieve.data() + (run_lo - hull_lo),
-                           run_hi - run_lo));
+          fs_write(run_lo, std::span<const std::byte>(
+                               sieve.data() + (run_lo - hull_lo),
+                               run_hi - run_lo));
         }
       };
       for (std::size_t k = i; k < j; ++k) {
@@ -297,8 +424,7 @@ void File::independent_write(const std::vector<Segment>& segs,
       write_run();
     } else {
       for (std::size_t k = i; k < j; ++k) {
-        fs_.write_at(fd_, segs[k].offset,
-                     buf.subspan(buf_pos, segs[k].length));
+        fs_write(segs[k].offset, buf.subspan(buf_pos, segs[k].length));
         buf_pos += segs[k].length;
       }
     }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
 #include "pfs/filesystem.hpp"
@@ -57,6 +58,16 @@ struct Hints {
   /// unchanged either way within one rank; cross-rank readers must
   /// synchronise through the collective calls as usual).
   std::uint64_t wb_buffer_size = 0;
+
+  /// Retry/backoff for transient file-system faults (injected EIO, short
+  /// transfers, server outages).  Default-off: transient errors propagate.
+  /// When enabled, every fs access a File performs — independent, sieved,
+  /// write-behind flush and two-phase aggregator I/O — retries with
+  /// exponential virtual-clock backoff, short transfers are resumed (with a
+  /// read-back verification of the landed prefix when verify_short_writes
+  /// is set), and collective calls degrade to independent access while the
+  /// fault layer reports an I/O-server outage.
+  fault::RetryPolicy retry;
 };
 
 /// Statistics a File accumulates per rank-agnostic call site (useful for the
@@ -91,6 +102,14 @@ struct FileStats {
   /// window sized to the actual data hull this stays well under
   /// cb_buffer_size for small requests.
   std::uint64_t cb_peak_window_bytes = 0;
+
+  /// Collective calls that degraded to independent access because the fault
+  /// layer reported an I/O-server outage (decided collectively, so every
+  /// rank takes the same path).
+  std::uint64_t collective_fallbacks = 0;
+  /// Retry-loop counters (re-attempts, transient errors, short transfers,
+  /// write verifications, virtual backoff slept).
+  fault::RetryStats retry;
 };
 
 /// Compact deterministic key for a hint set, used to name the registry scope
@@ -157,6 +176,18 @@ class File {
   void two_phase(bool is_write, const std::vector<Segment>& segs,
                  std::span<std::byte> rbuf, std::span<const std::byte> wbuf);
 
+  /// All fs data access goes through these: they resume short transfers
+  /// (ROMIO's POSIX-style write loop, always on), verify the landed prefix
+  /// of retryable short writes, and — when hints.retry is enabled — absorb
+  /// TransientIoError with exponential virtual-clock backoff.
+  void fs_read(std::uint64_t offset, std::span<std::byte> out);
+  void fs_write(std::uint64_t offset, std::span<const std::byte> data);
+
+  /// Shared retry-loop bookkeeping: counts the transient failure and, when
+  /// budget remains, sleeps the backoff on the virtual clock and returns
+  /// true; false means the caller must (re)throw.
+  bool try_backoff(int* attempt, std::uint64_t op_serial);
+
   /// Try to absorb an absolute-offset write run into the write-behind
   /// buffer; returns false when buffering is off or the run cannot fit.
   bool wb_absorb(std::uint64_t offset, std::span<const std::byte> data);
@@ -174,6 +205,10 @@ class File {
   /// Write-behind state: pending coalesced runs, sorted by offset.
   std::map<std::uint64_t, std::vector<std::byte>> wb_runs_;
   std::uint64_t wb_bytes_ = 0;
+
+  /// Serial of the current fs_read/fs_write call, for grouping logged
+  /// backoff delays per retried operation.
+  std::uint64_t retry_op_serial_ = 0;
 };
 
 }  // namespace paramrio::mpi::io

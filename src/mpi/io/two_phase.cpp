@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "mpi/io/file.hpp"
 #include "obs/profiler.hpp"
 
@@ -245,6 +246,32 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
     return;
   }
 
+  // ---- graceful degradation: I/O-server outage -------------------------
+  // With retrying enabled and a fault layer attached, ask it whether an I/O
+  // server is down right now.  Funnelling the whole window through one
+  // aggregator would hammer the dead server with every rank's data and burn
+  // the aggregator's retry budget for all of them; independent access lets
+  // each rank retry only what it owns.  Per-rank virtual clocks disagree, so
+  // the decision is made collective with an allreduce — every rank takes
+  // the same branch.
+  if (hints_.retry.enabled() && fs_.fault_hook() != nullptr) {
+    std::uint64_t down =
+        fs_.fault_hook()->degraded(sim::current_proc().now()) ? 1 : 0;
+    down = comm_.allreduce_max(down);
+    if (down != 0) {
+      stats_.collective_fallbacks += 1;
+      if (!segs.empty()) {
+        if (is_write) {
+          independent_write(segs, wbuf);
+        } else {
+          independent_read(segs, rbuf);
+        }
+      }
+      comm_.barrier();
+      return;
+    }
+  }
+
   // ---- fast path: non-interleaved requests ----------------------------
   // If per-rank hulls don't interleave, collective buffering buys nothing;
   // ROMIO falls back to independent access.
@@ -378,9 +405,9 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
               const std::uint64_t readable_end =
                   std::min(run_end, std::max(fsize, run.offset));
               if (readable_end > run.offset) {
-                fs_.read_at(fd_, run.offset,
-                            std::span<std::byte>(window.data() + idx,
-                                                 readable_end - run.offset));
+                fs_read(run.offset,
+                        std::span<std::byte>(window.data() + idx,
+                                             readable_end - run.offset));
               }
               if (readable_end < run_end) {
                 std::fill_n(window.begin() +
@@ -494,11 +521,10 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
             // Write each covered run contiguously; holes are skipped so no
             // read-modify-write is needed.
             for (const Segment& run : union_runs(incoming)) {
-              fs_.write_at(
-                  fd_, run.offset,
-                  std::span<const std::byte>(
-                      window.data() + win_index(ranges, run.offset),
-                      run.length));
+              fs_write(run.offset,
+                       std::span<const std::byte>(
+                           window.data() + win_index(ranges, run.offset),
+                           run.length));
             }
           }
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "obs/profiler.hpp"
 
 namespace paramrio::net {
@@ -24,6 +25,35 @@ double Network::send(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
   counters_.messages += 1;
   counters_.bytes += bytes;
 
+  if (fault_hook_ != nullptr) {
+    const double timeout = params_.retransmit_timeout > 0.0
+                               ? params_.retransmit_timeout
+                               : 4.0 * params_.latency;
+    for (;;) {
+      const fault::NetFaultAction a =
+          fault_hook_->on_message(src.rank(), dst_rank, bytes, src.now());
+      if (a.kind == fault::NetFaultAction::Kind::kDrop) {
+        // The copy is lost in flight: the sender pays the full wasted
+        // transfer, waits out the retransmit timeout, then tries again.
+        counters_.msg_drops += 1;
+        counters_.retransmit_bytes += bytes;
+        (void)transmit(src, dst_rank, bytes);
+        src.advance(timeout, sim::TimeCategory::kComm);
+        continue;
+      }
+      if (a.kind == fault::NetFaultAction::Kind::kDuplicate) {
+        // A spurious duplicate reaches the receiver and is discarded there;
+        // the fabric and the sender still paid for it.
+        counters_.msg_dups += 1;
+        (void)transmit(src, dst_rank, bytes);
+      }
+      break;
+    }
+  }
+  return transmit(src, dst_rank, bytes);
+}
+
+double Network::transmit(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
   const double b = static_cast<double>(bytes);
   if (same_node(src.rank(), dst_rank)) {
     // Same SMP node: a memory copy; no NIC or backplane involvement.
@@ -87,6 +117,11 @@ void Network::export_counters(obs::MetricsRegistry& reg) const {
   reg.add("net", "bytes", counters_.bytes);
   reg.add("net", "wire_transfers", counters_.wire_transfers);
   reg.add("net", "wire_bytes", counters_.wire_bytes);
+  if (counters_.msg_drops > 0) {
+    reg.add("net", "msg_drops", counters_.msg_drops);
+    reg.add("net", "retransmit_bytes", counters_.retransmit_bytes);
+  }
+  if (counters_.msg_dups > 0) reg.add("net", "msg_dups", counters_.msg_dups);
 }
 
 }  // namespace paramrio::net

@@ -26,6 +26,10 @@ namespace paramrio::obs {
 class MetricsRegistry;
 }
 
+namespace paramrio::fault {
+class NetFaultHook;
+}
+
 namespace paramrio::net {
 
 struct NetworkParams {
@@ -38,6 +42,12 @@ struct NetworkParams {
   int procs_per_node = 1;                      ///< SMP width
   bool nic_contention = false;                 ///< serialise per-node NICs
   double backplane_bandwidth = 0.0;            ///< 0 = full bisection
+  /// Sender-side timeout before retransmitting a dropped message (fault
+  /// injection only); 0 derives 4x the one-way latency.  Drops are modelled
+  /// at the transport: the sender pays the wasted transfer plus this
+  /// timeout and resends, so payload delivery stays exactly-once and
+  /// correctness is unaffected — packet loss costs time, not data.
+  double retransmit_timeout = 0.0;
 };
 
 /// Aggregate traffic counters over a Network's lifetime (one Engine::run).
@@ -46,6 +56,9 @@ struct NetworkCounters {
   std::uint64_t bytes = 0;          ///< payload bytes sent
   std::uint64_t wire_transfers = 0; ///< fabric transfers incl. pfs traffic
   std::uint64_t wire_bytes = 0;
+  std::uint64_t msg_drops = 0;      ///< injected drops (retransmitted)
+  std::uint64_t msg_dups = 0;       ///< injected duplicates (discarded)
+  std::uint64_t retransmit_bytes = 0;  ///< payload bytes sent again
 };
 
 /// Per-run interconnect state.  Construct one per Engine::run for up to
@@ -83,12 +96,20 @@ class Network {
   /// Publish aggregate counters into `reg` under scope "net".
   void export_counters(obs::MetricsRegistry& reg) const;
 
+  /// Attach (or detach with nullptr) a fault-injection hook consulted for
+  /// every point-to-point send.
+  void attach_fault_hook(fault::NetFaultHook* hook) { fault_hook_ = hook; }
+
  private:
+  /// One physical transmission attempt (the original LogP cost model).
+  double transmit(sim::Proc& src, int dst_rank, std::uint64_t bytes);
+
   int compute_nodes_ = 0;
   NetworkParams params_;
   std::vector<sim::Timeline> nics_;  ///< one per SMP node
   sim::Timeline backplane_;
   NetworkCounters counters_;
+  fault::NetFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace paramrio::net

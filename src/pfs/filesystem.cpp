@@ -1,5 +1,8 @@
 #include "pfs/filesystem.hpp"
 
+#include <algorithm>
+
+#include "fault/fault.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
@@ -44,8 +47,8 @@ std::uint64_t FileSystem::size(int fd) const {
   return store_.size(descriptor(fd, "size").path);
 }
 
-void FileSystem::read_at(int fd, std::uint64_t offset,
-                         std::span<std::byte> out) {
+std::uint64_t FileSystem::read_at(int fd, std::uint64_t offset,
+                                  std::span<std::byte> out) {
   const OpenFile& f = descriptor(fd, "read_at");
   std::uint64_t file_size = store_.size(f.path);
   if (offset + out.size() > file_size) {
@@ -54,49 +57,157 @@ void FileSystem::read_at(int fd, std::uint64_t offset,
                   std::to_string(offset + out.size()) + ") past EOF " +
                   std::to_string(file_size) + " on " + name());
   }
-  store_.read_at(f.path, offset, out);
-  if (!sim::in_simulation()) return;  // untimed setup access
+  if (!sim::in_simulation()) {  // untimed setup access
+    store_.read_at(f.path, offset, out);
+    return out.size();
+  }
+  std::uint64_t done = 0;
+  int attempt = 0;
+  for (;;) {
+    try {
+      done += read_attempt(f, fd, offset + done, out.subspan(done));
+    } catch (const TransientIoError&) {
+      if (attempt >= retry_.max_retries) throw;
+      const double delay = fault::backoff_delay(retry_, attempt);
+      ++attempt;
+      fs_retries_ += 1;
+      sim::current_proc().advance(delay, sim::TimeCategory::kIo);
+      continue;
+    }
+    if (done >= out.size()) return done;
+    // Short transfer: without fs-level retry the caller sees the prefix
+    // length; with it the remainder is resumed (progress was made, so no
+    // retry budget is consumed).
+    if (!retry_.enabled()) return done;
+  }
+}
+
+std::uint64_t FileSystem::read_attempt(const OpenFile& f, int fd,
+                                       std::uint64_t offset,
+                                       std::span<std::byte> out) {
   OBS_SPAN("pfs.read", sim::TimeCategory::kIo);
-  obs::span_counter("bytes", out.size());
   sim::Proc& proc = sim::current_proc();
-  proc.stats().io_bytes_read += out.size();
+  std::uint64_t transfer = out.size();
+  if (fault_hook_ != nullptr) {
+    const fault::IoFaultAction a =
+        fault_hook_->on_io(proc.rank(), proc.now(), /*is_write=*/false,
+                           f.path, offset, out.size(),
+                           server_of(f.path, offset));
+    switch (a.kind) {
+      case fault::IoFaultAction::Kind::kPass:
+        break;
+      case fault::IoFaultAction::Kind::kShort:
+        transfer = std::min<std::uint64_t>(a.transfer, out.size());
+        break;
+      case fault::IoFaultAction::Kind::kStall:
+        proc.advance(a.stall_seconds, sim::TimeCategory::kIo);
+        break;
+      case fault::IoFaultAction::Kind::kTransientError:
+        throw TransientIoError("injected EIO: read_at(" + f.path + ", " +
+                               std::to_string(offset) + ") on " + name());
+      case fault::IoFaultAction::Kind::kCrash:
+        throw CrashError("injected crash: read_at(" + f.path + ") on " +
+                         name());
+    }
+  }
+  obs::span_counter("bytes", transfer);
+  store_.read_at(f.path, offset, out.first(transfer));
+  proc.stats().io_bytes_read += transfer;
   proc.stats().io_requests += 1;
   if (observer_ != nullptr) {
     observer_->on_io(proc.now(), proc.rank(), /*is_write=*/false, f.path,
-                     offset, out.size(), fd);
+                     offset, transfer, fd);
   }
-  if (cache_enabled_ && !out.empty()) {
+  if (cache_enabled_ && transfer > 0) {
     Intervals& iv = cache_[f.path];
-    if (cache_covers(iv, offset, out.size())) {
-      cache_hits_ += out.size();
-      proc.advance(static_cast<double>(out.size()) / cache_bandwidth_,
+    if (cache_covers(iv, offset, transfer)) {
+      cache_hits_ += transfer;
+      proc.advance(static_cast<double>(transfer) / cache_bandwidth_,
                    sim::TimeCategory::kIo);
-      return;
+      return transfer;
     }
-    cache_insert(iv, offset, out.size());
+    cache_insert(iv, offset, transfer);
   }
-  charge(proc, f.path, offset, out.size(), /*is_write=*/false);
+  charge(proc, f.path, offset, transfer, /*is_write=*/false);
+  return transfer;
 }
 
-void FileSystem::write_at(int fd, std::uint64_t offset,
-                          std::span<const std::byte> data) {
+std::uint64_t FileSystem::write_at(int fd, std::uint64_t offset,
+                                   std::span<const std::byte> data) {
   const OpenFile& f = descriptor(fd, "write_at");
   if (!f.writable) throw IoError("write to read-only descriptor: " + f.path);
-  store_.write_at(f.path, offset, data);
-  if (!sim::in_simulation()) return;  // untimed setup access
+  if (!sim::in_simulation()) {  // untimed setup access
+    store_.write_at(f.path, offset, data);
+    return data.size();
+  }
+  std::uint64_t done = 0;
+  int attempt = 0;
+  for (;;) {
+    try {
+      done += write_attempt(f, fd, offset + done, data.subspan(done));
+    } catch (const TransientIoError&) {
+      if (attempt >= retry_.max_retries) throw;
+      const double delay = fault::backoff_delay(retry_, attempt);
+      ++attempt;
+      fs_retries_ += 1;
+      sim::current_proc().advance(delay, sim::TimeCategory::kIo);
+      continue;
+    }
+    if (done >= data.size()) return done;
+    if (!retry_.enabled()) return done;
+  }
+}
+
+std::uint64_t FileSystem::write_attempt(const OpenFile& f, int fd,
+                                        std::uint64_t offset,
+                                        std::span<const std::byte> data) {
   OBS_SPAN("pfs.write", sim::TimeCategory::kIo);
-  obs::span_counter("bytes", data.size());
   sim::Proc& proc = sim::current_proc();
-  proc.stats().io_bytes_written += data.size();
+  std::uint64_t transfer = data.size();
+  if (fault_hook_ != nullptr) {
+    const fault::IoFaultAction a =
+        fault_hook_->on_io(proc.rank(), proc.now(), /*is_write=*/true,
+                           f.path, offset, data.size(),
+                           server_of(f.path, offset));
+    switch (a.kind) {
+      case fault::IoFaultAction::Kind::kPass:
+        break;
+      case fault::IoFaultAction::Kind::kShort:
+        transfer = std::min<std::uint64_t>(a.transfer, data.size());
+        break;
+      case fault::IoFaultAction::Kind::kStall:
+        proc.advance(a.stall_seconds, sim::TimeCategory::kIo);
+        break;
+      case fault::IoFaultAction::Kind::kTransientError:
+        throw TransientIoError("injected EIO: write_at(" + f.path + ", " +
+                               std::to_string(offset) + ") on " + name());
+      case fault::IoFaultAction::Kind::kCrash:
+        throw CrashError("injected crash: write_at(" + f.path + ") on " +
+                         name());
+    }
+  }
+  obs::span_counter("bytes", transfer);
+  store_.write_at(f.path, offset, data.first(transfer));
+  proc.stats().io_bytes_written += transfer;
   proc.stats().io_requests += 1;
   if (observer_ != nullptr) {
     observer_->on_io(proc.now(), proc.rank(), /*is_write=*/true, f.path,
-                     offset, data.size(), fd);
+                     offset, transfer, fd);
   }
-  if (cache_enabled_ && !data.empty()) {
-    cache_insert(cache_[f.path], offset, data.size());
+  if (cache_enabled_ && transfer > 0) {
+    cache_insert(cache_[f.path], offset, transfer);
   }
-  charge(proc, f.path, offset, data.size(), /*is_write=*/true);
+  charge(proc, f.path, offset, transfer, /*is_write=*/true);
+  return transfer;
+}
+
+int FileSystem::server_of(const std::string& path,
+                          std::uint64_t offset) const {
+  const Layout l = layout(path);
+  if (l.stripe_size == 0 || l.n_servers < 1) return -1;
+  return static_cast<int>(
+      (offset / l.stripe_size + static_cast<std::uint64_t>(l.first_server)) %
+      static_cast<std::uint64_t>(l.n_servers));
 }
 
 bool FileSystem::cache_covers(const Intervals& iv, std::uint64_t off,
@@ -129,6 +240,7 @@ void FileSystem::cache_insert(Intervals& iv, std::uint64_t off,
 
 void FileSystem::export_counters(obs::MetricsRegistry& reg) const {
   reg.add("fs:" + name(), "cache_hit_bytes", cache_hits_);
+  if (fs_retries_ > 0) reg.add("fs:" + name(), "retries", fs_retries_);
 }
 
 const FileSystem::OpenFile& FileSystem::descriptor(int fd,

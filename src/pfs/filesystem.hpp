@@ -13,11 +13,16 @@
 #include <span>
 #include <string>
 
+#include "fault/retry.hpp"
 #include "sim/engine.hpp"
 #include "stor/object_store.hpp"
 
 namespace paramrio::obs {
 class MetricsRegistry;
+}
+
+namespace paramrio::fault {
+class IoFaultHook;
 }
 
 namespace paramrio::pfs {
@@ -86,12 +91,20 @@ class FileSystem {
 
   std::uint64_t size(int fd) const;
 
-  /// Timed positional read of exactly out.size() bytes.
-  void read_at(int fd, std::uint64_t offset, std::span<std::byte> out);
+  /// Timed positional read; returns the bytes actually transferred.  The
+  /// whole range [offset, offset+out.size()) must exist (past-EOF reads
+  /// throw), and without fault injection the transfer is always complete; an
+  /// injected short read returns a prefix length, which the caller (or the
+  /// fs-level retry, when enabled) must resume.
+  std::uint64_t read_at(int fd, std::uint64_t offset,
+                        std::span<std::byte> out);
 
-  /// Timed positional write (extends the file as needed).
-  void write_at(int fd, std::uint64_t offset,
-                std::span<const std::byte> data);
+  /// Timed positional write (extends the file as needed); returns the bytes
+  /// actually transferred — a short count only ever results from an injected
+  /// fault, and byte accounting (ProcStats, observers, charge) always
+  /// reflects what actually landed, not what was requested.
+  std::uint64_t write_at(int fd, std::uint64_t offset,
+                         std::span<const std::byte> data);
 
   /// Human-readable model name ("xfs", "gpfs", "pvfs", "local-disk").
   virtual std::string name() const = 0;
@@ -121,6 +134,29 @@ class FileSystem {
   /// Attach (or detach with nullptr) an I/O observer; every subsequent data
   /// request inside the simulation is reported to it.
   void attach_observer(IoObserver* observer) { observer_ = observer; }
+
+  /// Attach (or detach with nullptr) a fault-injection hook, consulted for
+  /// every in-simulation data request *before* any bytes move.  The data
+  /// operations are non-virtual, so injection is a hook inside the base
+  /// class rather than a decorator.
+  void attach_fault_hook(fault::IoFaultHook* hook) { fault_hook_ = hook; }
+  fault::IoFaultHook* fault_hook() const { return fault_hook_; }
+
+  /// Enable file-system-level retry: read_at/write_at absorb injected
+  /// transient errors (with exponential virtual-clock backoff) and resume
+  /// short transfers internally, so libraries that talk to the fs directly
+  /// — the serial HDF4 writer, the hierarchy file, HDF5 metadata — survive
+  /// faults without their own retry loops.  Default-off: a zero-valued
+  /// policy propagates transient errors and reports short transfers.
+  void set_retry(const fault::RetryPolicy& policy) { retry_ = policy; }
+  const fault::RetryPolicy& retry() const { return retry_; }
+
+  /// Re-attempts the fs-level retry loop performed (tests/obs export).
+  std::uint64_t fs_retries() const { return fs_retries_; }
+
+  /// I/O server holding byte `offset` of `path` under this fs's layout, or
+  /// -1 when unstriped (fault specs match on this).
+  int server_of(const std::string& path, std::uint64_t offset) const;
 
   /// Publish model-level counters into `reg` under scope "fs:<name>".
   /// The base exports cache hits; subclasses add their own (GPFS write-token
@@ -152,6 +188,15 @@ class FileSystem {
   };
   const OpenFile& descriptor(int fd, const char* op) const;
 
+  /// One timed attempt at (part of) a data operation: consults the fault
+  /// hook, moves up to the requested bytes, and accounts exactly the bytes
+  /// moved.  Returns the transfer length; throws TransientIoError /
+  /// CrashError when the hook says so.
+  std::uint64_t read_attempt(const OpenFile& f, int fd, std::uint64_t offset,
+                             std::span<std::byte> out);
+  std::uint64_t write_attempt(const OpenFile& f, int fd, std::uint64_t offset,
+                              std::span<const std::byte> data);
+
   /// Merged resident intervals per file (offset -> end).
   using Intervals = std::map<std::uint64_t, std::uint64_t>;
   bool cache_covers(const Intervals& iv, std::uint64_t off,
@@ -162,6 +207,9 @@ class FileSystem {
   std::map<int, OpenFile> open_files_;
   int next_fd_ = 3;  // tradition
   IoObserver* observer_ = nullptr;
+  fault::IoFaultHook* fault_hook_ = nullptr;
+  fault::RetryPolicy retry_;
+  std::uint64_t fs_retries_ = 0;
   bool cache_enabled_ = false;
   double cache_bandwidth_ = 0.0;
   std::uint64_t cache_hits_ = 0;

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace paramrio::sim {
 
@@ -135,14 +136,26 @@ void Engine::thread_main(int rank, const std::function<void(Proc&)>& body) {
 }
 
 void Engine::yield_from(int rank) {
+  // A rank unwinding an exception (e.g. an injected CrashError, or Aborted
+  // after another rank crashed) still runs destructors that advance the
+  // clock — File close, RAII spans.  Those land here from noexcept contexts,
+  // so once the run is aborted we must return instead of throwing: the
+  // virtual time of a dying run is meaningless, but terminate() is not.
+  const bool unwinding = std::uncaught_exceptions() > 0;
   std::unique_lock<std::mutex> l(mu_);
-  if (aborted_) throw Aborted{};
+  if (aborted_) {
+    if (unwinding) return;
+    throw Aborted{};
+  }
   pass_baton_locked();
   if (current_ != rank) {
     cvs_[static_cast<std::size_t>(rank)]->wait(
         l, [&] { return current_ == rank || aborted_; });
   }
-  if (aborted_) throw Aborted{};
+  if (aborted_) {
+    if (unwinding) return;
+    throw Aborted{};
+  }
 }
 
 int Engine::pick_next_locked() const {

@@ -1,0 +1,378 @@
+// Property tests for the retry path: backoff shape, exact byte accounting of
+// short transfers (the bug class the fault layer exists to catch), and the
+// headline property — a retried write stream converges to exactly the bytes
+// a fault-free run would have produced.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "mpi/io/file.hpp"
+#include "pfs/local_fs.hpp"
+#include "sim/engine.hpp"
+#include "stor/object_store.hpp"
+
+namespace paramrio::fault {
+namespace {
+
+sim::Engine::Options eopts(int n) {
+  sim::Engine::Options o;
+  o.nprocs = n;
+  return o;
+}
+
+mpi::RuntimeParams rparams(int n) {
+  mpi::RuntimeParams p;
+  p.nprocs = n;
+  return p;
+}
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((i * 131 + seed) & 0xff);
+  return v;
+}
+
+std::map<std::string, std::vector<std::byte>> snapshot(
+    const stor::ObjectStore& store) {
+  std::map<std::string, std::vector<std::byte>> out;
+  for (const auto& name : store.list()) {
+    std::vector<std::byte> v(store.size(name));
+    if (!v.empty()) store.read_at(name, 0, v);
+    out.emplace(name, std::move(v));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Backoff shape
+// ---------------------------------------------------------------------------
+
+TEST(Backoff, MonotoneNonDecreasingAndClamped) {
+  RetryPolicy p;
+  p.max_retries = 16;
+  p.backoff_base = 1e-4;
+  p.backoff_factor = 2.0;
+  p.backoff_max = 1e-2;
+  double prev = 0.0;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    double d = backoff_delay(p, attempt);
+    EXPECT_GE(d, prev) << "attempt " << attempt;
+    EXPECT_LE(d, p.backoff_max) << "attempt " << attempt;
+    prev = d;
+  }
+  EXPECT_DOUBLE_EQ(backoff_delay(p, 0), 1e-4);
+  EXPECT_DOUBLE_EQ(backoff_delay(p, 1), 2e-4);
+  EXPECT_DOUBLE_EQ(backoff_delay(p, 30), 1e-2);  // clamped
+}
+
+TEST(Backoff, RetryKeyDistinguishesPolicies) {
+  RetryPolicy off;
+  EXPECT_EQ(retry_key(off), "r0");
+  RetryPolicy a;
+  a.max_retries = 4;
+  RetryPolicy b = a;
+  b.verify_short_writes = false;
+  EXPECT_NE(retry_key(a), retry_key(off));
+  EXPECT_NE(retry_key(a), retry_key(b));
+  EXPECT_EQ(retry_key(a), retry_key(RetryPolicy{.max_retries = 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Short-transfer accounting at the fs layer (regression: write_at used to
+// report the *requested* size, so an injected short write left ProcStats,
+// observers and the store disagreeing about what landed).
+// ---------------------------------------------------------------------------
+
+TEST(FsAccounting, ShortWriteReportsActualBytesEverywhere) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kShortWrite;
+  s.short_fraction = 0.5;
+  s.max_faults = 1;
+  plan.specs.push_back(s);
+  Injector inj(plan);
+  fs.attach_fault_hook(&inj);
+
+  sim::Engine::run(eopts(1), [&](sim::Proc& p) {
+    int fd = fs.open("f", pfs::OpenMode::kCreate);
+    auto data = pattern(100);
+    std::uint64_t wrote = fs.write_at(fd, 0, data);
+    EXPECT_EQ(wrote, 50u);
+    EXPECT_EQ(p.stats().io_bytes_written, 50u);
+    EXPECT_EQ(fs.store().size("f"), 50u);
+    // The landed prefix is the data's prefix, not garbage.
+    std::vector<std::byte> back(50);
+    fs.store().read_at("f", 0, back);
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), data.begin()));
+    // The caller resumes; accounting keeps tracking actual bytes.
+    wrote += fs.write_at(
+        fd, wrote, std::span<const std::byte>(data).subspan(wrote));
+    EXPECT_EQ(wrote, 100u);
+    EXPECT_EQ(p.stats().io_bytes_written, 100u);
+    fs.close(fd);
+  });
+}
+
+TEST(FsAccounting, ShortReadReportsActualBytes) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  FaultSpec s;
+  s.kind = FaultKind::kShortRead;
+  s.short_fraction = 0.25;
+  s.max_faults = 1;
+  plan.specs.push_back(s);
+  Injector inj(plan);
+
+  sim::Engine::run(eopts(1), [&](sim::Proc& p) {
+    int fd = fs.open("f", pfs::OpenMode::kCreate);
+    auto data = pattern(80);
+    fs.write_at(fd, 0, data);
+    fs.attach_fault_hook(&inj);
+    std::vector<std::byte> out(80);
+    std::uint64_t got = fs.read_at(fd, 0, out);
+    EXPECT_EQ(got, 20u);
+    EXPECT_EQ(p.stats().io_bytes_read, 20u);
+    EXPECT_TRUE(std::equal(out.begin(), out.begin() + 20, data.begin()));
+    fs.close(fd);
+  });
+  fs.attach_fault_hook(nullptr);
+}
+
+TEST(FsRetry, ResumesShortsAndAbsorbsTransients) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  plan.seed = 5;
+  FaultSpec shortw;
+  shortw.kind = FaultKind::kShortWrite;
+  shortw.probability = 0.4;
+  shortw.max_consecutive = 2;
+  FaultSpec eio;
+  eio.kind = FaultKind::kTransientError;
+  eio.probability = 0.2;
+  eio.max_consecutive = 2;
+  plan.specs.push_back(shortw);
+  plan.specs.push_back(eio);
+  Injector inj(plan);
+  fs.attach_fault_hook(&inj);
+  RetryPolicy rp;
+  rp.max_retries = 10;
+  fs.set_retry(rp);
+
+  sim::Engine::run(eopts(1), [&](sim::Proc&) {
+    int fd = fs.open("f", pfs::OpenMode::kCreate);
+    auto data = pattern(10000, 3);
+    // With fs-level retry every call completes in full...
+    EXPECT_EQ(fs.write_at(fd, 0, data), data.size());
+    std::vector<std::byte> out(data.size());
+    EXPECT_EQ(fs.read_at(fd, 0, out), data.size());
+    EXPECT_EQ(out, data);
+    fs.close(fd);
+  });
+  // ...and the faults demonstrably happened.
+  EXPECT_GT(inj.counters().injected_total(), 0u);
+  EXPECT_GT(fs.fs_retries(), 0u);
+}
+
+TEST(FsRetry, ExhaustedBudgetPropagatesTransientError) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  FaultSpec eio;
+  eio.kind = FaultKind::kTransientError;  // every op, forever
+  plan.specs.push_back(eio);
+  Injector inj(plan);
+  fs.attach_fault_hook(&inj);
+  RetryPolicy rp;
+  rp.max_retries = 3;
+  fs.set_retry(rp);
+
+  sim::Engine::run(eopts(1), [&](sim::Proc&) {
+    int fd = fs.open("f", pfs::OpenMode::kCreate);
+    auto data = pattern(64);
+    EXPECT_THROW(fs.write_at(fd, 0, data), TransientIoError);
+    fs.close(fd);
+  });
+  // Budget respected: 1 initial + 3 retries, all faulted.
+  EXPECT_EQ(inj.counters().count(FaultKind::kTransientError), 4u);
+  EXPECT_EQ(fs.fs_retries(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// mpi::io::File retry: interleaved collective + independent writes under a
+// bounded transient plan converge to exactly the no-fault bytes.
+// ---------------------------------------------------------------------------
+
+struct FileRunResult {
+  std::map<std::string, std::vector<std::byte>> files;
+  mpi::io::FileStats rank0_stats;
+};
+
+FileRunResult run_interleaved_writes(std::uint64_t fault_seed,
+                                     bool inject) {
+  const int p = 4;
+  const std::uint64_t block = 64;
+  const std::uint64_t blocks_per_rank = 48;
+
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  plan.seed = fault_seed;
+  FaultSpec eio;
+  eio.kind = FaultKind::kTransientError;
+  eio.probability = 0.2;
+  eio.max_consecutive = 2;
+  FaultSpec shortw;
+  shortw.kind = FaultKind::kShortWrite;
+  shortw.probability = 0.2;
+  shortw.max_consecutive = 2;
+  FaultSpec shortr;
+  shortr.kind = FaultKind::kShortRead;
+  shortr.probability = 0.2;
+  shortr.max_consecutive = 2;
+  plan.specs.push_back(eio);
+  plan.specs.push_back(shortw);
+  plan.specs.push_back(shortr);
+  Injector inj(plan);
+  if (inject) fs.attach_fault_hook(&inj);
+
+  FileRunResult result;
+  mpi::Runtime rt(rparams(p));
+  rt.run([&](mpi::Comm& c) {
+    mpi::io::Hints h;
+    h.retry.max_retries = 10;
+    h.retry.log_delays = true;
+    mpi::io::File f(c, fs, "data", pfs::OpenMode::kCreate, h);
+    // Interleaved cyclic view: rank r owns every p-th `block`-sized slot.
+    f.set_view(static_cast<std::uint64_t>(c.rank()) * block,
+               mpi::Datatype::vector(blocks_per_rank, block, block * p));
+    auto mine = pattern(blocks_per_rank * block,
+                        static_cast<unsigned>(c.rank()) + 1);
+    f.write_at_all(0, mine);
+    // An independent strided rewrite of my second half on top.
+    auto mine2 = pattern(blocks_per_rank * block / 2,
+                         static_cast<unsigned>(c.rank()) + 100);
+    f.write_at(blocks_per_rank * block / 2, mine2);
+    // Collective read-back sees my own final bytes despite the faults.
+    std::vector<std::byte> back(blocks_per_rank * block);
+    f.read_at_all(0, back);
+    for (std::uint64_t i = 0; i < back.size() / 2; ++i) {
+      EXPECT_EQ(back[i], mine[i]);
+    }
+    for (std::uint64_t i = 0; i < mine2.size(); ++i) {
+      EXPECT_EQ(back[back.size() / 2 + i], mine2[i]);
+    }
+    if (c.rank() == 0) result.rank0_stats = f.stats();
+    f.close();
+  });
+  result.files = snapshot(fs.store());
+  return result;
+}
+
+TEST(FileRetry, RetriedWritesConvergeToNoFaultBytes) {
+  FileRunResult clean = run_interleaved_writes(0, /*inject=*/false);
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    FileRunResult faulted = run_interleaved_writes(seed, /*inject=*/true);
+    EXPECT_EQ(faulted.files, clean.files) << "seed " << seed;
+    const RetryStats& r = faulted.rank0_stats.retry;
+    EXPECT_GT(r.retries + r.short_writes + r.short_reads, 0u)
+        << "seed " << seed << ": the plan injected nothing on rank 0";
+  }
+  EXPECT_EQ(clean.rank0_stats.retry.retries, 0u);
+  EXPECT_EQ(clean.rank0_stats.retry.transient_errors, 0u);
+}
+
+TEST(FileRetry, LoggedBackoffIsMonotonePerOp) {
+  FileRunResult faulted = run_interleaved_writes(11, /*inject=*/true);
+  const std::vector<RetryDelay>& log =
+      faulted.rank0_stats.retry.delay_log;
+  ASSERT_FALSE(log.empty());
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    if (log[i].op != log[i - 1].op) continue;
+    EXPECT_GE(log[i].seconds, log[i - 1].seconds)
+        << "op " << log[i].op << " entry " << i;
+  }
+}
+
+TEST(FileRetry, ShortWriteVerificationIsCounted) {
+  FileRunResult faulted = run_interleaved_writes(22, /*inject=*/true);
+  const RetryStats& r = faulted.rank0_stats.retry;
+  if (r.short_writes > 0) {
+    EXPECT_GT(r.write_verifications, 0u);
+  }
+  EXPECT_GT(r.backoff_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Collective degradation: while the fault layer reports an I/O-server
+// outage, write_at_all routes around the aggregators (whose server cannot
+// serve them) and still produces the right bytes.
+// ---------------------------------------------------------------------------
+
+TEST(FileRetry, CollectiveFallsBackDuringOutage) {
+  const int p = 4;
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  FaultSpec down;
+  down.kind = FaultKind::kServerDown;
+  down.after_time = 0.0;
+  down.until_time = 2e-3;
+  plan.specs.push_back(down);
+  Injector inj(plan);
+  fs.attach_fault_hook(&inj);
+
+  std::uint64_t fallbacks = 0;
+  std::uint64_t retries = 0;
+  mpi::Runtime rt(rparams(p));
+  rt.run([&](mpi::Comm& c) {
+    mpi::io::Hints h;
+    h.retry.max_retries = 12;
+    mpi::io::File f(c, fs, "data", pfs::OpenMode::kCreate, h);
+    const std::uint64_t block = 256;
+    f.set_view(static_cast<std::uint64_t>(c.rank()) * block,
+               mpi::Datatype::vector(8, block, block * p));
+    auto mine = pattern(8 * block, static_cast<unsigned>(c.rank()) + 7);
+    // Issued at t=0, inside the outage window: the collective must degrade,
+    // and the independent retries ride the backoff past the outage.
+    f.write_at_all(0, mine);
+    std::vector<std::byte> back(mine.size());
+    f.read_at_all(0, back);
+    EXPECT_EQ(back, mine);
+    if (c.rank() == 0) {
+      fallbacks = f.stats().collective_fallbacks;
+      retries = f.stats().retry.retries;
+    }
+    f.close();
+  });
+  EXPECT_GE(fallbacks, 1u);
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(inj.counters().count(FaultKind::kServerDown), 0u);
+}
+
+// Without retry enabled, the degradation path stays cold and transient
+// errors propagate to the caller — opt-in semantics.
+TEST(FileRetry, DisabledRetryPropagates) {
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  FaultPlan plan;
+  FaultSpec eio;
+  eio.kind = FaultKind::kTransientError;
+  eio.max_faults = 1;
+  plan.specs.push_back(eio);
+  Injector inj(plan);
+  fs.attach_fault_hook(&inj);
+
+  mpi::Runtime rt(rparams(1));
+  rt.run([&](mpi::Comm& c) {
+    mpi::io::File f(c, fs, "data", pfs::OpenMode::kCreate);
+    auto data = pattern(128);
+    EXPECT_THROW(f.write_at(0, data), TransientIoError);
+    // The budget-less fault fired once; the next attempt succeeds.
+    f.write_at(0, data);
+    f.close();
+  });
+}
+
+}  // namespace
+}  // namespace paramrio::fault
