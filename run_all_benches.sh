@@ -1,9 +1,69 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper plus the ablations.
-# Usage: ./run_all_benches.sh [build-dir]
+#
+# Usage: ./run_all_benches.sh [build-dir] [--tiny] [--json DIR]
+#   --tiny      forwarded to every bench (benches without a tiny mode
+#               ignore it and run at full size)
+#   --json DIR  collect machine-readable results as DIR/BENCH_<name>.json
+#               (via the PARAMRIO_BENCH_JSON environment variable)
+#
+# Every bench registered in bench/CMakeLists.txt must exist in the build
+# directory — a missing binary is an error, not a silent skip.  Stray
+# non-executable files (CMake droppings) are still skipped.
 set -e
-BUILD="${1:-build}"
-for b in "$BUILD"/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
+BUILD="build"
+TINY=""
+JSON_DIR=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tiny) TINY="--tiny" ;;
+    --json)
+      [ $# -ge 2 ] || { echo "error: --json needs a directory" >&2; exit 2; }
+      JSON_DIR="$2"; shift ;;
+    -*) echo "error: unknown flag: $1" >&2; exit 2 ;;
+    *) BUILD="$1" ;;
+  esac
+  shift
+done
+
+[ -d "$BUILD/bench" ] || {
+  echo "error: no bench directory in '$BUILD' (build first)" >&2
+  exit 1
+}
+if [ -n "$JSON_DIR" ]; then
+  mkdir -p "$JSON_DIR"
+  PARAMRIO_BENCH_JSON="$JSON_DIR"
+  export PARAMRIO_BENCH_JSON
+fi
+
+# The expected bench set is whatever bench/CMakeLists.txt registers.
+# bench_micro (google-benchmark, rejects unknown flags) runs without the
+# pass-through flags.
+SRC_DIR="$(dirname "$0")"
+EXPECTED=$(sed -n 's/^paramrio_add_bench(\([a-z0-9_]*\).*/\1/p' \
+  "$SRC_DIR/bench/CMakeLists.txt")
+NOFLAG=$(sed -n 's/^add_executable(\([a-z0-9_]*\) .*/\1/p' \
+  "$SRC_DIR/bench/CMakeLists.txt" | grep -v '^\${' || true)
+[ -n "$EXPECTED" ] || {
+  echo "error: no benches found in $SRC_DIR/bench/CMakeLists.txt" >&2
+  exit 1
+}
+MISSING=0
+for name in $EXPECTED $NOFLAG; do
+  if [ ! -f "$BUILD/bench/$name" ]; then
+    echo "error: expected bench binary missing: $BUILD/bench/$name" >&2
+    MISSING=1
+  fi
+done
+[ "$MISSING" -eq 0 ] || exit 1
+
+for name in $EXPECTED; do
+  b="$BUILD/bench/$name"
+  [ -x "$b" ] || { echo "skipping non-executable $b" >&2; continue; }
+  "$b" $TINY
+done
+for name in $NOFLAG; do
+  b="$BUILD/bench/$name"
+  [ -x "$b" ] || { echo "skipping non-executable $b" >&2; continue; }
   "$b"
 done

@@ -4,6 +4,7 @@
 // partitioned particle arrays.
 #include <map>
 #include <optional>
+#include <type_traits>
 
 #include "amr/particles_par.hpp"
 #include "enzo/backends.hpp"
@@ -92,12 +93,32 @@ std::vector<amr::Array3f> read_topgrid_collective(mpi::io::File& f,
   return fields;
 }
 
+/// Issue prefetches for this rank's block-wise slice of every particle
+/// array (restores the identity view afterwards).  No-op unless the file's
+/// hints enable overlap.
+void prefetch_particle_slices(mpi::io::File& f, mpi::Comm& comm,
+                              const DumpMeta& meta,
+                              const SharedLayout& layout) {
+  auto [first, count] =
+      amr::block_range(meta.n_particles, comm.size(), comm.rank());
+  for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
+    f.set_view(layout.particle_off[a]);
+    f.prefetch(first * kParticleArrays[a].elem_size,
+               count * kParticleArrays[a].elem_size);
+  }
+  f.set_view(0);
+}
+
 /// Block-wise particle read: rank r reads slice r of every array, then the
-/// particles are redistributed to their position owners.
-amr::ParticleSet read_particles_blockwise(mpi::io::File& f, mpi::Comm& comm,
-                                          const SimulationState& state,
-                                          const DumpMeta& meta,
-                                          const SharedLayout& layout) {
+/// particles are redistributed to their position owners.  `pre_redistribute`
+/// (optional) runs after the slices are read but before the redistribution
+/// exchange — the read-prefetch hook, so the next reader's I/O can run in
+/// flight under the redistribution comm.
+template <typename PreRedistribute = std::nullptr_t>
+amr::ParticleSet read_particles_blockwise(
+    mpi::io::File& f, mpi::Comm& comm, const SimulationState& state,
+    const DumpMeta& meta, const SharedLayout& layout,
+    PreRedistribute pre_redistribute = nullptr) {
   auto [first, count] =
       amr::block_range(meta.n_particles, comm.size(), comm.rank());
   amr::ParticleSet slice;
@@ -107,6 +128,9 @@ amr::ParticleSet read_particles_blockwise(mpi::io::File& f, mpi::Comm& comm,
     f.set_view(layout.particle_off[a]);
     f.read_at(first * kParticleArrays[a].elem_size, buf);
     particle_array_from_bytes(slice, a, count, buf.data());
+  }
+  if constexpr (!std::is_same_v<PreRedistribute, std::nullptr_t>) {
+    pre_redistribute();
   }
   return amr::redistribute_by_position(comm, slice, state.config.root_dims,
                                        state.proc_grid);
@@ -145,13 +169,21 @@ void MpiIoBackend::write_dump(mpi::Comm& comm, const SimulationState& state,
   }
 
   // ---- top-grid baryon fields: collective two-phase subarray writes ------
+  // With overlap on, the last field goes through the split-collective
+  // interface: its begin leaves the final window's write in flight and the
+  // particle sort (pure comm) runs before the end call collects it.
+  const bool overlap = hints_.overlap;
   {
     OBS_SPAN("mpiio_dump.field_write", sim::TimeCategory::kIo);
     for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
       f->set_view(layout.field_off(fi),
                   block_subarray(state.config.root_dims, state.my_block));
-      f->write_at_all(0,
-                      state.my_fields[static_cast<std::size_t>(fi)].bytes());
+      const auto buf = state.my_fields[static_cast<std::size_t>(fi)].bytes();
+      if (overlap && fi + 1 == amr::kNumBaryonFields) {
+        f->write_at_all_begin(0, buf);
+      } else {
+        f->write_at_all(0, buf);
+      }
     }
   }
 
@@ -172,28 +204,43 @@ void MpiIoBackend::write_dump(mpi::Comm& comm, const SimulationState& state,
       first += c;
     }
   }
+  if (overlap) f->write_at_all_end();
   {
     OBS_SPAN("mpiio_dump.particle_write", sim::TimeCategory::kIo);
     const std::uint64_t my_count = sorted.size();
+    // Nonblocking per-array writes: packing array a+1 runs while array a's
+    // write is in flight.  The buffers must outlive their requests.
+    std::vector<std::vector<std::byte>> bufs(kNumParticleArrays);
+    std::vector<mpi::io::Request> reqs;
+    reqs.reserve(kNumParticleArrays);
     for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
-      std::vector<std::byte> buf(my_count * kParticleArrays[a].elem_size);
-      particle_array_to_bytes(sorted, a, 0, my_count, buf.data());
+      bufs[a].resize(my_count * kParticleArrays[a].elem_size);
+      particle_array_to_bytes(sorted, a, 0, my_count, bufs[a].data());
       f->set_view(layout.particle_off[a]);
-      f->write_at(first * kParticleArrays[a].elem_size, buf);
+      reqs.push_back(f->iwrite_at(first * kParticleArrays[a].elem_size,
+                                  bufs[a]));
     }
+    f->wait_all(reqs);
   }
 
   // ---- subgrids: every owner writes its grids into the shared file -------
   {
     OBS_SPAN("mpiio_dump.subgrid_write", sim::TimeCategory::kIo);
     f->set_view(0);
+    // Nonblocking per-field writes, waited per grid: field fi+1's issue
+    // (gather/pack side) overlaps field fi's flush — level L+1 packs while
+    // level L is in flight.
+    std::vector<mpi::io::Request> reqs;
     for (const amr::Grid& g : state.my_subgrids) {
       std::uint64_t off = layout.subgrid_off.at(g.desc.id);
       std::uint64_t per_field = g.desc.cell_count() * sizeof(float);
+      reqs.clear();
       for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
-        f->write_at(off + static_cast<std::uint64_t>(fi) * per_field,
-                    g.fields[static_cast<std::size_t>(fi)].bytes());
+        reqs.push_back(
+            f->iwrite_at(off + static_cast<std::uint64_t>(fi) * per_field,
+                         g.fields[static_cast<std::size_t>(fi)].bytes()));
       }
+      f->wait_all(reqs);
     }
   }
   OBS_SPAN("mpiio_dump.close", sim::TimeCategory::kIo);
@@ -252,37 +299,74 @@ void MpiIoBackend::read_restart(mpi::Comm& comm, SimulationState& state,
   DumpMeta meta = read_header(f);
   SharedLayout layout = build_layout(meta, state.config.root_dims);
 
+  // The round-robin subgrid assignment is computable from the metadata
+  // alone; knowing my grids up front lets the prefetcher run ahead.
+  std::vector<const amr::GridDescriptor*> my_grids;
+  {
+    int i = 0;
+    for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
+      if (g.level == 0) continue;
+      if (i % comm.size() == comm.rank()) my_grids.push_back(&g);
+      ++i;
+    }
+  }
+  auto prefetch_subgrid = [&](std::size_t idx) {
+    if (idx >= my_grids.size()) return;
+    const amr::GridDescriptor& g = *my_grids[idx];
+    std::uint64_t off = layout.subgrid_off.at(g.id);
+    std::uint64_t per_field = g.cell_count() * sizeof(float);
+    for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
+      f.prefetch(off + static_cast<std::uint64_t>(fi) * per_field,
+                 per_field);
+    }
+  };
+
   {
     OBS_SPAN("mpiio_dump.field_read", sim::TimeCategory::kIo);
+    // Read-ahead of this rank's particle slices: the prefetch I/O runs in
+    // flight under the collective field reads' exchange phases.
+    if (hints_.overlap) prefetch_particle_slices(f, comm, meta, layout);
     auto fields = read_topgrid_collective(f, state, layout);
-    auto particles = read_particles_blockwise(f, comm, state, meta, layout);
+    // The first owned subgrid's fields prefetch ahead of the particle
+    // redistribution, so that exchange hides their read.
+    auto particles = read_particles_blockwise(
+        f, comm, state, meta, layout, [&] {
+          if (hints_.overlap) {
+            f.set_view(0);
+            prefetch_subgrid(0);
+          }
+        });
     install_topgrid(state, meta, std::move(fields), std::move(particles));
   }
 
-  // Subgrids round-robin, whole-grid contiguous independent reads.
+  // Subgrids round-robin, whole-grid contiguous independent reads, each
+  // grid's slice prefetched while the previous one is consumed.
   OBS_SPAN("mpiio_dump.subgrid_read", sim::TimeCategory::kIo);
   state.hierarchy = meta.hierarchy;
   state.my_subgrids.clear();
   f.set_view(0);
-  int i = 0;
-  for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
-    if (g.level == 0) continue;
-    int owner = i % comm.size();
-    state.hierarchy.grid_mut(g.id).owner = owner;
-    if (owner == comm.rank()) {
-      amr::Grid grid;
-      grid.desc = g;
-      grid.desc.owner = owner;
-      grid.allocate_fields();
-      std::uint64_t off = layout.subgrid_off.at(g.id);
-      std::uint64_t per_field = g.cell_count() * sizeof(float);
-      for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
-        f.read_at(off + static_cast<std::uint64_t>(fi) * per_field,
-                  grid.fields[static_cast<std::size_t>(fi)].mutable_bytes());
-      }
-      state.my_subgrids.push_back(std::move(grid));
+  {
+    int i = 0;
+    for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
+      if (g.level == 0) continue;
+      state.hierarchy.grid_mut(g.id).owner = i % comm.size();
+      ++i;
     }
-    ++i;
+  }
+  for (std::size_t gi = 0; gi < my_grids.size(); ++gi) {
+    const amr::GridDescriptor& g = *my_grids[gi];
+    if (hints_.overlap) prefetch_subgrid(gi + 1);
+    amr::Grid grid;
+    grid.desc = g;
+    grid.desc.owner = comm.rank();
+    grid.allocate_fields();
+    std::uint64_t off = layout.subgrid_off.at(g.id);
+    std::uint64_t per_field = g.cell_count() * sizeof(float);
+    for (int fi = 0; fi < amr::kNumBaryonFields; ++fi) {
+      f.read_at(off + static_cast<std::uint64_t>(fi) * per_field,
+                grid.fields[static_cast<std::size_t>(fi)].mutable_bytes());
+    }
+    state.my_subgrids.push_back(std::move(grid));
   }
   f.close();
 }

@@ -147,16 +147,21 @@ void PnetcdfBackend::write_dump(mpi::Comm& comm, const SimulationState& state,
     }
   }
 
-  // ---- subgrids: independent whole-variable writes by their owners ------
+  // ---- subgrids: independent whole-variable writes by their owners,
+  //      nonblocking (iput_vara + one wait_all per grid) so grid g+1's
+  //      issue overlaps grid g's in-flight flush when overlap is on -------
   {
     OBS_SPAN("pnetcdf_dump.subgrid_write", sim::TimeCategory::kIo);
+    std::vector<mpi::io::Request> reqs;
     for (const amr::Grid& g : state.my_subgrids) {
       const auto& vars = schema.subgrid_fields.at(g.desc.id);
+      reqs.clear();
       for (int f = 0; f < amr::kNumBaryonFields; ++f) {
         auto u = static_cast<std::size_t>(f);
-        nc->put_vara(vars[u], {0, 0, 0}, vec3(g.desc.dims),
-                     g.fields[u].bytes());
+        reqs.push_back(nc->iput_vara(vars[u], {0, 0, 0}, vec3(g.desc.dims),
+                                     g.fields[u].bytes()));
       }
+      nc->wait_all(reqs);
     }
   }
   OBS_SPAN("pnetcdf_dump.close", sim::TimeCategory::kIo);

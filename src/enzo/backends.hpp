@@ -13,7 +13,12 @@ namespace paramrio::enzo {
 /// top-grid; one file per subgrid written by its owner.
 class Hdf4SerialBackend final : public IoBackend {
  public:
-  explicit Hdf4SerialBackend(pfs::FileSystem& fs) : fs_(fs) {}
+  /// `overlap` defers rank 0's top-grid dataset writes on the shadow clock:
+  /// the post-gather barrier then releases the other ranks into their
+  /// subgrid-file writes while the top-grid file is still flushing.  Off by
+  /// default (byte- and time-identical to the serial original).
+  explicit Hdf4SerialBackend(pfs::FileSystem& fs, bool overlap = false)
+      : fs_(fs), overlap_(overlap) {}
   std::string name() const override { return "hdf4"; }
   void write_dump(mpi::Comm& comm, const SimulationState& state,
                   const std::string& base) override;
@@ -24,6 +29,7 @@ class Hdf4SerialBackend final : public IoBackend {
 
  private:
   pfs::FileSystem& fs_;
+  bool overlap_ = false;
 };
 
 /// The paper's optimised MPI-IO port: one shared file, collective two-phase

@@ -139,4 +139,22 @@ void Datatype::map_stream(std::uint64_t pos, std::uint64_t len,
   }
 }
 
+std::uint64_t Datatype::signature() const {
+  // FNV-1a over the flattened segment list and the extent; deterministic
+  // across runs, cheap relative to one map_stream walk.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(extent_);
+  for (const Segment& s : segments_) {
+    mix(s.offset);
+    mix(s.length);
+  }
+  return h;
+}
+
 }  // namespace paramrio::mpi

@@ -64,6 +64,11 @@ class Datatype {
 
   const std::vector<Segment>& segments() const { return segments_; }
 
+  /// Deterministic fingerprint of the flattened layout (segments + extent).
+  /// Two datatypes with equal signatures describe the same byte pattern, so
+  /// consumers (File's view-flatten cache) can reuse derived flattenings.
+  std::uint64_t signature() const;
+
   /// Map a range [pos, pos+len) of the datatype's visible byte stream
   /// (tiled indefinitely) to file byte ranges relative to the tile origin of
   /// tile 0; appends (file_offset, length) pairs in stream order.

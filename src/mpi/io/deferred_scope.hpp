@@ -1,0 +1,35 @@
+// RAII wrapper for sim::Proc's deferred (shadow-clock) execution mode, used
+// by the overlapped-I/O paths in File and its two-phase engine.
+//
+// Exception-safe: if the deferred region unwinds (a retry budget exhausts
+// mid-flight), the destructor ends deferred mode so the proc is not left
+// stuck on the shadow clock.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace paramrio::mpi::io {
+
+class DeferredScope {
+ public:
+  explicit DeferredScope(sim::Proc& proc) : proc_(proc) {
+    proc_.begin_deferred();
+  }
+  ~DeferredScope() {
+    if (!ended_) proc_.end_deferred();
+  }
+  DeferredScope(const DeferredScope&) = delete;
+  DeferredScope& operator=(const DeferredScope&) = delete;
+
+  /// Finish cleanly; returns the completion time.
+  double end() {
+    ended_ = true;
+    return proc_.end_deferred();
+  }
+
+ private:
+  sim::Proc& proc_;
+  bool ended_ = false;
+};
+
+}  // namespace paramrio::mpi::io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mpi/io/deferred_scope.hpp"
 #include "obs/profiler.hpp"
 
 namespace paramrio::mpi::io {
@@ -15,6 +16,9 @@ std::string hints_key(const Hints& h) {
                     ",dsw=" + std::to_string(h.data_sieving_writes ? 1 : 0) +
                     ",wb=" + std::to_string(h.wb_buffer_size) + "," +
                     fault::retry_key(h.retry);
+  // Appended only when set, so overlap-off scope names (and therefore
+  // registry/trace exports) are byte-identical to earlier releases.
+  if (h.overlap) key += ",ov=1";
   return key;
 }
 
@@ -37,6 +41,7 @@ File::~File() {
   // Collective close must be explicit; a destructor cannot synchronise.
   // Release the descriptor quietly if the user forgot.
   if (open_) {
+    drop_prefetch();
     persist_stats();
     fs_.close(fd_);
   }
@@ -46,6 +51,14 @@ void File::close() {
   PARAMRIO_REQUIRE(open_, "File::close: already closed");
   OBS_SPAN("mpiio.close", sim::TimeCategory::kIo);
   flush();
+  drain_collective();
+  drop_prefetch();
+  // In-flight independent ops the caller never waited on finish here; no
+  // saved-time credit (wait() is where hiding is accounted), just the stall.
+  if (sim::in_simulation() && inflight_horizon_ > 0.0) {
+    sim::current_proc().clock_at_least(inflight_horizon_,
+                                       sim::TimeCategory::kIo);
+  }
   comm_.barrier();
   persist_stats();
   fs_.close(fd_);
@@ -85,6 +98,26 @@ void File::persist_stats() {
   }
   if (stats_.collective_fallbacks > 0) {
     reg.add(scope, "collective_fallbacks", stats_.collective_fallbacks);
+  }
+  // Overlap counters, likewise persisted only when nonzero: overlap-off runs
+  // keep their registry byte-identical to pre-overlap releases.
+  if (stats_.split_collectives > 0) {
+    reg.add(scope, "split_collectives", stats_.split_collectives);
+  }
+  if (stats_.overlap_windows > 0) {
+    reg.add(scope, "overlap_windows", stats_.overlap_windows);
+  }
+  if (stats_.prefetch_hits > 0) {
+    reg.add(scope, "prefetch_hits", stats_.prefetch_hits);
+  }
+  if (stats_.prefetch_misses > 0) {
+    reg.add(scope, "prefetch_misses", stats_.prefetch_misses);
+  }
+  if (stats_.view_flatten_cache_hits > 0) {
+    reg.add(scope, "view_flatten_cache_hits", stats_.view_flatten_cache_hits);
+  }
+  if (stats_.overlap_saved_time > 0.0) {
+    reg.add_value(scope, "overlap_saved_time", stats_.overlap_saved_time);
   }
 }
 
@@ -200,11 +233,13 @@ void File::fs_write(std::uint64_t offset, std::span<const std::byte> data) {
 
 void File::set_view(std::uint64_t disp, Datatype filetype) {
   view_disp_ = disp;
+  view_sig_ = filetype.signature();
   view_type_ = std::move(filetype);
 }
 
 void File::set_view(std::uint64_t disp) {
   view_disp_ = disp;
+  view_sig_ = 0;
   view_type_.reset();
 }
 
@@ -260,15 +295,29 @@ bool File::wb_absorb(std::uint64_t offset, std::span<const std::byte> data) {
   return true;
 }
 
-std::vector<Segment> File::map_view(std::uint64_t offset,
-                                    std::uint64_t len) const {
+std::vector<Segment> File::map_view(std::uint64_t offset, std::uint64_t len) {
   std::vector<Segment> segs;
   if (len == 0) return segs;
   if (!view_type_) {
     segs.push_back(Segment{view_disp_ + offset, len});
     return segs;
   }
-  view_type_->map_stream(offset, len, segs);
+  // Flatten memo: the result is stored disp-relative and keyed by the
+  // filetype's layout signature, so re-installing an identical filetype at a
+  // different displacement (ENZO sets one subarray view per baryon field)
+  // still hits.
+  if (flatten_cache_.valid && flatten_cache_.sig == view_sig_ &&
+      flatten_cache_.offset == offset && flatten_cache_.len == len) {
+    stats_.view_flatten_cache_hits += 1;
+    segs = flatten_cache_.segs;
+  } else {
+    view_type_->map_stream(offset, len, segs);
+    flatten_cache_.valid = true;
+    flatten_cache_.sig = view_sig_;
+    flatten_cache_.offset = offset;
+    flatten_cache_.len = len;
+    flatten_cache_.segs = segs;
+  }
   for (Segment& s : segs) s.offset += view_disp_;
   return segs;
 }
@@ -279,7 +328,24 @@ void File::read_at(std::uint64_t offset, std::span<std::byte> buf) {
   obs::span_counter("bytes", buf.size());
   flush();  // reads must observe this rank's buffered writes
   stats_.independent_ops += 1;
-  independent_read(map_view(offset, buf.size()), buf);
+  auto segs = map_view(offset, buf.size());
+  if (!prefetched_.empty()) {
+    // An exact segment match is a hit: settle the in-flight read and copy.
+    for (auto it = prefetched_.begin(); it != prefetched_.end(); ++it) {
+      if (it->segs == segs) {
+        stats_.prefetch_hits += 1;
+        settle_deferred(it->issued, it->completion);
+        std::copy(it->data.begin(), it->data.end(), buf.begin());
+        comm_.charge_memcpy(buf.size());
+        prefetched_.erase(it);
+        return;
+      }
+    }
+    // A partially-overlapping read cannot be stitched from the buffer;
+    // discard the stale entries and read from the file.
+    invalidate_prefetch(segs);
+  }
+  independent_read(segs, buf);
 }
 
 void File::write_at(std::uint64_t offset, std::span<const std::byte> buf) {
@@ -288,6 +354,7 @@ void File::write_at(std::uint64_t offset, std::span<const std::byte> buf) {
   obs::span_counter("bytes", buf.size());
   stats_.independent_ops += 1;
   auto segs = map_view(offset, buf.size());
+  invalidate_prefetch(segs);
   if (segs.size() == 1 && wb_absorb(segs[0].offset, buf)) {
     stats_.wb_absorbed += 1;
     return;
@@ -434,20 +501,206 @@ void File::independent_write(const std::vector<Segment>& segs,
 }
 
 void File::read_at_all(std::uint64_t offset, std::span<std::byte> buf) {
+  PARAMRIO_REQUIRE(!split_active_,
+                   "read_at_all: split collective still active");
   OBS_SPAN("mpiio.read_all", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
   flush();
   stats_.collective_ops += 1;
   two_phase(/*is_write=*/false, map_view(offset, buf.size()), buf, {});
+  drain_collective();
 }
 
 void File::write_at_all(std::uint64_t offset,
                         std::span<const std::byte> buf) {
+  PARAMRIO_REQUIRE(!split_active_,
+                   "write_at_all: split collective still active");
   OBS_SPAN("mpiio.write_all", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
   flush();
+  // Aggregators rewrite arbitrary ranks' ranges; a rank cannot tell which of
+  // its prefetched ranges another rank's write covers, so drop them all.
+  drop_prefetch();
   stats_.collective_ops += 1;
   two_phase(/*is_write=*/true, map_view(offset, buf.size()), {}, buf);
+  drain_collective();
+}
+
+// ---- overlapped I/O (Hints::overlap) --------------------------------------
+
+bool File::overlap_enabled() const {
+  return hints_.overlap && sim::in_simulation() &&
+         !sim::current_proc().deferred();
+}
+
+void File::settle_deferred(double issued, double completion) {
+  if (!sim::in_simulation()) return;
+  sim::Proc& proc = sim::current_proc();
+  const double hidden = std::min(completion, proc.now()) - issued;
+  if (hidden > 0.0) stats_.overlap_saved_time += hidden;
+  proc.clock_at_least(completion, sim::TimeCategory::kIo);
+}
+
+void File::drain_collective() {
+  if (collective_pending_completion_ < 0.0) return;
+  settle_deferred(collective_pending_issue_, collective_pending_completion_);
+  collective_pending_completion_ = -1.0;
+}
+
+void File::invalidate_prefetch(const std::vector<Segment>& segs) {
+  if (prefetched_.empty() || segs.empty()) return;
+  auto intersects = [&segs](const std::vector<Segment>& entry) {
+    for (const Segment& a : entry) {
+      for (const Segment& b : segs) {
+        if (a.offset < b.offset + b.length && b.offset < a.offset + a.length) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  for (auto it = prefetched_.begin(); it != prefetched_.end();) {
+    if (intersects(it->segs)) {
+      stats_.prefetch_misses += 1;
+      it = prefetched_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void File::drop_prefetch() {
+  if (prefetched_.empty()) return;
+  stats_.prefetch_misses += prefetched_.size();
+  prefetched_.clear();
+}
+
+Request File::iread_at(std::uint64_t offset, std::span<std::byte> buf) {
+  Request req;
+  if (buf.empty()) return req;
+  if (!overlap_enabled()) {
+    read_at(offset, buf);
+    return req;  // completed synchronously; inactive
+  }
+  flush();  // reads must observe this rank's buffered writes
+  stats_.independent_ops += 1;
+  auto segs = map_view(offset, buf.size());
+  invalidate_prefetch(segs);
+  sim::Proc& proc = sim::current_proc();
+  req.issued_ = proc.now();
+  {
+    DeferredScope defer(proc);
+    OBS_SPAN("mpiio.iread", sim::TimeCategory::kIo);
+    obs::span_counter("bytes", buf.size());
+    independent_read(segs, buf);
+    req.completion_ = defer.end();
+  }
+  req.active_ = true;
+  inflight_horizon_ = std::max(inflight_horizon_, req.completion_);
+  return req;
+}
+
+Request File::iwrite_at(std::uint64_t offset, std::span<const std::byte> buf) {
+  Request req;
+  if (buf.empty()) return req;
+  if (!overlap_enabled()) {
+    write_at(offset, buf);
+    return req;  // completed synchronously; inactive
+  }
+  flush();  // keep file-order with earlier buffered writes
+  stats_.independent_ops += 1;
+  auto segs = map_view(offset, buf.size());
+  invalidate_prefetch(segs);
+  sim::Proc& proc = sim::current_proc();
+  req.issued_ = proc.now();
+  {
+    DeferredScope defer(proc);
+    OBS_SPAN("mpiio.iwrite", sim::TimeCategory::kIo);
+    obs::span_counter("bytes", buf.size());
+    independent_write(segs, buf);
+    req.completion_ = defer.end();
+  }
+  req.active_ = true;
+  inflight_horizon_ = std::max(inflight_horizon_, req.completion_);
+  return req;
+}
+
+void File::wait(Request& req) {
+  if (!req.active_) return;
+  req.active_ = false;
+  settle_deferred(req.issued_, req.completion_);
+}
+
+void File::wait_all(std::span<Request> reqs) {
+  for (Request& r : reqs) wait(r);
+}
+
+void File::read_at_all_begin(std::uint64_t offset, std::span<std::byte> buf) {
+  PARAMRIO_REQUIRE(!split_active_,
+                   "read_at_all_begin: split collective already active");
+  OBS_SPAN("mpiio.read_all_begin", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", buf.size());
+  flush();
+  stats_.collective_ops += 1;
+  two_phase(/*is_write=*/false, map_view(offset, buf.size()), buf, {});
+  split_active_ = true;
+}
+
+void File::read_at_all_end() {
+  PARAMRIO_REQUIRE(split_active_,
+                   "read_at_all_end: no split collective active");
+  OBS_SPAN("mpiio.read_all_end", sim::TimeCategory::kIo);
+  drain_collective();
+  split_active_ = false;
+  stats_.split_collectives += 1;
+}
+
+void File::write_at_all_begin(std::uint64_t offset,
+                              std::span<const std::byte> buf) {
+  PARAMRIO_REQUIRE(!split_active_,
+                   "write_at_all_begin: split collective already active");
+  OBS_SPAN("mpiio.write_all_begin", sim::TimeCategory::kIo);
+  obs::span_counter("bytes", buf.size());
+  flush();
+  drop_prefetch();
+  stats_.collective_ops += 1;
+  two_phase(/*is_write=*/true, map_view(offset, buf.size()), {}, buf);
+  split_active_ = true;
+}
+
+void File::write_at_all_end() {
+  PARAMRIO_REQUIRE(split_active_,
+                   "write_at_all_end: no split collective active");
+  OBS_SPAN("mpiio.write_all_end", sim::TimeCategory::kIo);
+  drain_collective();
+  split_active_ = false;
+  stats_.split_collectives += 1;
+}
+
+void File::prefetch(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0 || !overlap_enabled()) return;
+  flush();  // the prefetched bytes must observe this rank's buffered writes
+  auto segs = map_view(offset, len);
+  // Never read ahead past EOF (an untimed metadata peek, like ROMIO's
+  // size check before sieving); the later read_at will fault normally.
+  if (segs.back().offset + segs.back().length > fs_.size(fd_)) return;
+  for (const PrefetchEntry& e : prefetched_) {
+    if (e.segs == segs) return;  // identical range already in flight
+  }
+  PrefetchEntry entry;
+  entry.segs = segs;
+  entry.data.resize(len);
+  sim::Proc& proc = sim::current_proc();
+  entry.issued = proc.now();
+  {
+    DeferredScope defer(proc);
+    OBS_SPAN("mpiio.prefetch", sim::TimeCategory::kIo);
+    obs::span_counter("bytes", len);
+    independent_read(segs, std::span<std::byte>(entry.data));
+    entry.completion = defer.end();
+  }
+  inflight_horizon_ = std::max(inflight_horizon_, entry.completion);
+  prefetched_.push_back(std::move(entry));
 }
 
 }  // namespace paramrio::mpi::io

@@ -68,6 +68,15 @@ struct Hints {
   /// is set), and collective calls degrade to independent access while the
   /// fault layer reports an I/O-server outage.
   fault::RetryPolicy retry;
+
+  /// Overlap communication and file I/O.  When set, two-phase collective
+  /// windows are double-buffered and pipelined (the alltoall exchange for
+  /// window i+1 runs while the aggregator's write of window i is in
+  /// flight), the nonblocking iread_at/iwrite_at and the split-collective
+  /// begin/end calls genuinely defer their I/O, and prefetch() issues
+  /// read-ahead.  Default-off: every one of those paths is byte- and
+  /// virtual-time-identical to the synchronous implementation.
+  bool overlap = false;
 };
 
 /// Statistics a File accumulates per rank-agnostic call site (useful for the
@@ -110,11 +119,48 @@ struct FileStats {
   /// Retry-loop counters (re-attempts, transient errors, short transfers,
   /// write verifications, virtual backoff slept).
   fault::RetryStats retry;
+
+  // ---- overlap (Hints::overlap) counters --------------------------------
+
+  /// Split-collective pairs completed (one per begin/end).
+  std::uint64_t split_collectives = 0;
+  /// Two-phase windows whose aggregator I/O was deferred so the next
+  /// window's exchange could run concurrently.
+  std::uint64_t overlap_windows = 0;
+  /// read_at calls served from a prefetch() buffer.
+  std::uint64_t prefetch_hits = 0;
+  /// Prefetched ranges discarded unused (partial-overlap reads, intervening
+  /// writes, or still pending at close).
+  std::uint64_t prefetch_misses = 0;
+  /// map_view flattenings skipped because the (filetype signature, range)
+  /// matched the memoized result of the previous call.
+  std::uint64_t view_flatten_cache_hits = 0;
+  /// Virtual seconds of in-flight I/O hidden behind other work: for every
+  /// deferred operation, min(completion, wait time) - issue time.
+  double overlap_saved_time = 0.0;
 };
 
 /// Compact deterministic key for a hint set, used to name the registry scope
 /// a File's stats persist into ("file:<path>|<hints_key>").
 std::string hints_key(const Hints& hints);
+
+/// Handle to one nonblocking independent operation (iread_at/iwrite_at).
+/// Data moves at issue time — the simulation stays content-deterministic —
+/// and the handle carries the operation's virtual completion time; wait()
+/// charges the issuer exactly the stall that other work did not hide.
+class Request {
+ public:
+  Request() = default;
+  /// True until the request has been waited on (a default-constructed or
+  /// already-completed request is inactive; waiting on it is a no-op).
+  bool active() const { return active_; }
+
+ private:
+  friend class File;
+  double issued_ = 0.0;
+  double completion_ = 0.0;
+  bool active_ = false;
+};
 
 class File {
  public:
@@ -141,10 +187,49 @@ class File {
   void read_at(std::uint64_t offset, std::span<std::byte> buf);
   void write_at(std::uint64_t offset, std::span<const std::byte> buf);
 
+  // ---- nonblocking independent I/O -------------------------------------
+  //
+  // With Hints::overlap set the operation's file-system time runs in
+  // flight (deferred on the engine's shadow clock) and the returned Request
+  // completes at its virtual finish time; without it the call completes
+  // synchronously and wait() is a no-op.  As in MPI, the buffer must not be
+  // reused (writes) or read (reads) until the request is waited on.
+
+  Request iread_at(std::uint64_t offset, std::span<std::byte> buf);
+  Request iwrite_at(std::uint64_t offset, std::span<const std::byte> buf);
+
+  /// Complete a request: charges this rank the remaining in-flight time (if
+  /// any) as kIo and credits the hidden part to overlap_saved_time.
+  void wait(Request& req);
+  void wait_all(std::span<Request> reqs);
+
   // ---- collective I/O (all ranks must participate) ---------------------
 
   void read_at_all(std::uint64_t offset, std::span<std::byte> buf);
   void write_at_all(std::uint64_t offset, std::span<const std::byte> buf);
+
+  // ---- split collective I/O (Thakur/Gropp/Lusk begin/end interface) -----
+  //
+  // A begin call starts the collective (all ranks participate; with
+  // Hints::overlap the tail of the aggregator's window I/O stays in
+  // flight), the matching end completes it.  At most one split collective
+  // may be active per File, and blocking collectives must not be issued
+  // while one is.  Zero-length participation (an empty buffer) joins and
+  // completes like any other rank.
+
+  void read_at_all_begin(std::uint64_t offset, std::span<std::byte> buf);
+  void read_at_all_end();
+  void write_at_all_begin(std::uint64_t offset,
+                          std::span<const std::byte> buf);
+  void write_at_all_end();
+
+  /// Read-ahead hint: asynchronously fetch [offset, offset+len) of the view
+  /// stream into an internal buffer.  A later read_at of exactly that range
+  /// is served from the buffer (prefetch_hits), charging only the stall
+  /// left after overlapped work; partially overlapping reads and
+  /// intervening writes discard the buffer (prefetch_misses).  No-op when
+  /// Hints::overlap is off or len == 0.
+  void prefetch(std::uint64_t offset, std::uint64_t len);
 
   /// Flush this rank's write-behind buffer (no-op when disabled or empty).
   void flush();
@@ -164,8 +249,9 @@ class File {
   /// close() or the destructor fallback.
   void persist_stats();
   /// Map [offset, offset+len) of this rank's view stream to absolute file
-  /// segments, in stream order, coalesced.
-  std::vector<Segment> map_view(std::uint64_t offset, std::uint64_t len) const;
+  /// segments, in stream order, coalesced.  Memoizes the flattening of the
+  /// previous call (view_flatten_cache_hits).
+  std::vector<Segment> map_view(std::uint64_t offset, std::uint64_t len);
 
   void independent_read(const std::vector<Segment>& segs,
                         std::span<std::byte> buf);
@@ -192,6 +278,25 @@ class File {
   /// buffer; returns false when buffering is off or the run cannot fit.
   bool wb_absorb(std::uint64_t offset, std::span<const std::byte> data);
 
+  /// True when deferred (in-flight) execution is available and requested.
+  bool overlap_enabled() const;
+
+  /// Settle a deferred operation issued at `issued` completing at
+  /// `completion`: credit the hidden portion to overlap_saved_time and
+  /// charge the rest as kIo stall.
+  void settle_deferred(double issued, double completion);
+
+  /// Wait any collective window I/O left in flight by a pipelined
+  /// two_phase (no-op otherwise).
+  void drain_collective();
+
+  /// Discard prefetched ranges intersecting the absolute-file segments
+  /// `segs` (counted as misses); called from every write path.
+  void invalidate_prefetch(const std::vector<Segment>& segs);
+
+  /// Drop every pending prefetch entry, counting misses.
+  void drop_prefetch();
+
   Comm& comm_;
   pfs::FileSystem& fs_;
   std::string path_;
@@ -209,6 +314,37 @@ class File {
   /// Serial of the current fs_read/fs_write call, for grouping logged
   /// backoff delays per retried operation.
   std::uint64_t retry_op_serial_ = 0;
+
+  /// View-flatten memo: the previous map_view's result (disp-relative) keyed
+  /// by the filetype's signature and the requested stream range.
+  struct ViewFlattenCache {
+    bool valid = false;
+    std::uint64_t sig = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t len = 0;
+    std::vector<Segment> segs;  ///< relative to disp 0
+  };
+  std::uint64_t view_sig_ = 0;  ///< signature of the installed filetype
+  ViewFlattenCache flatten_cache_;
+
+  /// One in-flight prefetched range (absolute-file segments + its bytes).
+  struct PrefetchEntry {
+    std::vector<Segment> segs;
+    std::vector<std::byte> data;
+    double issued = 0.0;
+    double completion = 0.0;
+  };
+  std::vector<PrefetchEntry> prefetched_;
+
+  /// Completion horizon of the pipelined two-phase window(s) still in
+  /// flight (< 0: none); split-collective state.
+  double collective_pending_issue_ = 0.0;
+  double collective_pending_completion_ = -1.0;
+  bool split_active_ = false;
+
+  /// Latest completion of any deferred op (close() drains to here so the
+  /// file is only "closed" once all in-flight I/O has virtually finished).
+  double inflight_horizon_ = 0.0;
 };
 
 }  // namespace paramrio::mpi::io

@@ -22,6 +22,7 @@
 #include <cstring>
 
 #include "fault/fault.hpp"
+#include "mpi/io/deferred_scope.hpp"
 #include "mpi/io/file.hpp"
 #include "obs/profiler.hpp"
 
@@ -356,10 +357,144 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
 
   // The collective buffer: aggregators only, sized per iteration to the
   // window's actual data hull (never the full cb_buffer_size for small
-  // requests).
+  // requests).  Pipelined collectives double-buffer it by window parity.
   std::vector<std::byte> window;
+  std::vector<std::byte> window2;   ///< parity partner (pipelined only)
   std::vector<WindowRange> ranges;  ///< this rank's windows (aggregator)
   std::vector<WindowRange> peer;    ///< scratch: each aggregator's windows
+
+  const bool pipelined = overlap_enabled();
+  auto winbuf = [&](std::uint64_t t) -> std::vector<std::byte>& {
+    return (pipelined && (t & 1) != 0) ? window2 : window;
+  };
+  // In-flight aggregator window write (pipelined writes; at most one).
+  double pend_issue = 0.0;
+  double pend_completion = -1.0;
+
+  if (!is_write && pipelined) {
+    // ---- pipelined READ ------------------------------------------------
+    // Double-buffered windows: the deferred read of window t+1 is issued
+    // before window t's pieces are distributed, so the distribution comm
+    // overlaps the next window's file I/O.  Requester side is identical to
+    // the synchronous path.
+    std::vector<WindowRange> cur, nxt;
+    std::vector<std::vector<Piece>> cur_want, nxt_want;
+    std::uint64_t cur_total = 0, nxt_total = 0;
+    double rp_issue = 0.0, rp_completion = -1.0;
+
+    auto compute = [&](std::uint64_t t, std::vector<WindowRange>& rg,
+                       std::vector<std::vector<Piece>>& want,
+                       std::uint64_t* total) {
+      geom.window_ranges(comm_.rank(), t, rg);
+      want.assign(static_cast<std::size_t>(p), {});
+      *total = 0;
+      for (int r = 0; r < p; ++r) {
+        want[static_cast<std::size_t>(r)] =
+            clip_ranges(pieces[static_cast<std::size_t>(r)], rg);
+        *total += total_len(want[static_cast<std::size_t>(r)]);
+      }
+    };
+
+    auto issue_read = [&](std::uint64_t t,
+                          const std::vector<WindowRange>& rg,
+                          const std::vector<std::vector<Piece>>& want) {
+      std::vector<std::byte>& win = winbuf(t);
+      stats_.two_phase_windows += 1;
+      stats_.overlap_windows += 1;
+      classify_window(rg);
+      const std::uint64_t wbytes = geom.extent(rg);
+      win.resize(wbytes);
+      stats_.cb_peak_window_bytes =
+          std::max(stats_.cb_peak_window_bytes, wbytes);
+      obs::counter_sample("cb_window_bytes", static_cast<double>(wbytes));
+      std::vector<Piece> all;
+      for (const auto& w : want) all.insert(all.end(), w.begin(), w.end());
+      std::sort(all.begin(), all.end(), [](const Piece& a, const Piece& b) {
+        return a.file_off < b.file_off;
+      });
+      const std::uint64_t fsize = fs_.size(fd_);
+      sim::Proc& proc = sim::current_proc();
+      rp_issue = proc.now();
+      DeferredScope defer(proc);
+      OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
+      obs::span_counter("window_bytes", wbytes);
+      for (const Segment& run : union_runs(all)) {
+        const std::uint64_t idx = win_index(rg, run.offset);
+        const std::uint64_t run_end = run.offset + run.length;
+        const std::uint64_t readable_end =
+            std::min(run_end, std::max(fsize, run.offset));
+        if (readable_end > run.offset) {
+          fs_read(run.offset,
+                  std::span<std::byte>(win.data() + idx,
+                                       readable_end - run.offset));
+        }
+        if (readable_end < run_end) {
+          std::fill_n(win.begin() + static_cast<std::ptrdiff_t>(
+                                        idx + (readable_end - run.offset)),
+                      run_end - readable_end, std::byte{0});
+        }
+      }
+      rp_completion = defer.end();
+    };
+
+    if (i_aggregate && geom.ntimes > 0) {
+      compute(0, cur, cur_want, &cur_total);
+      if (cur_total > 0) issue_read(0, cur, cur_want);
+    }
+    for (std::uint64_t t = 0; t < geom.ntimes; ++t) {
+      if (i_aggregate) {
+        if (cur_total > 0) {
+          // Window t's bytes must be on the client before they ship.
+          settle_deferred(rp_issue, rp_completion);
+          rp_completion = -1.0;
+        }
+        if (t + 1 < geom.ntimes) {
+          compute(t + 1, nxt, nxt_want, &nxt_total);
+          if (nxt_total > 0) issue_read(t + 1, nxt, nxt_want);
+        }
+        if (cur_total > 0) {
+          const std::vector<std::byte>& win = winbuf(t);
+          OBS_SPAN("two_phase.comm", sim::TimeCategory::kComm);
+          for (int r = 0; r < p; ++r) {
+            const auto& cl = cur_want[static_cast<std::size_t>(r)];
+            if (cl.empty()) continue;
+            Bytes out(total_len(cl));
+            std::uint64_t pos = 0;
+            for (const Piece& q : cl) {
+              std::memcpy(out.data() + pos,
+                          win.data() + win_index(cur, q.file_off), q.len);
+              pos += q.len;
+            }
+            comm_.charge_memcpy(out.size());
+            obs::span_counter("bytes", out.size());
+            comm_.send(r, tag, out);
+          }
+        }
+        cur.swap(nxt);
+        cur_want.swap(nxt_want);
+        cur_total = (t + 1 < geom.ntimes) ? nxt_total : 0;
+      }
+      // -- requester side: receive from every aggregator that holds a piece
+      OBS_SPAN("two_phase.comm", sim::TimeCategory::kComm);
+      for (int a = 0; a < geom.naggr; ++a) {
+        geom.window_ranges(a, t, peer);
+        if (peer.empty()) continue;
+        auto cl = clip_ranges(mine, peer);
+        if (cl.empty()) continue;
+        Bytes in = comm_.recv(a, tag);
+        obs::span_counter("bytes", in.size());
+        PARAMRIO_REQUIRE(in.size() == total_len(cl),
+                         "two-phase read: piece size mismatch");
+        std::uint64_t pos = 0;
+        for (const Piece& q : cl) {
+          std::memcpy(rbuf.data() + q.buf_off, in.data() + pos, q.len);
+          pos += q.len;
+        }
+        comm_.charge_memcpy(in.size());
+      }
+    }
+    return;
+  }
 
   for (std::uint64_t t = 0; t < geom.ntimes; ++t) {
     if (!is_write) {
@@ -477,6 +612,7 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
       if (i_aggregate) {
         geom.window_ranges(comm_.rank(), t, ranges);
         if (!ranges.empty()) {
+          std::vector<std::byte>& win = winbuf(t);
           std::vector<Piece> incoming;
           bool sized = false;
           {
@@ -487,7 +623,7 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
               if (cl.empty()) continue;
               if (!sized) {
                 const std::uint64_t wbytes = geom.extent(ranges);
-                window.resize(wbytes);
+                win.resize(wbytes);
                 stats_.cb_peak_window_bytes =
                     std::max(stats_.cb_peak_window_bytes, wbytes);
                 obs::counter_sample("cb_window_bytes",
@@ -499,7 +635,7 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
                                "two-phase write: piece size mismatch");
               std::uint64_t pos = 0;
               for (const Piece& q : cl) {
-                std::memcpy(window.data() + win_index(ranges, q.file_off),
+                std::memcpy(win.data() + win_index(ranges, q.file_off),
                             in.data() + pos, q.len);
                 pos += q.len;
               }
@@ -516,20 +652,53 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
                       [](const Piece& a2, const Piece& b2) {
                         return a2.file_off < b2.file_off;
                       });
-            OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
-            obs::span_counter("window_bytes", window.size());
-            // Write each covered run contiguously; holes are skipped so no
-            // read-modify-write is needed.
-            for (const Segment& run : union_runs(incoming)) {
-              fs_write(run.offset,
-                       std::span<const std::byte>(
-                           window.data() + win_index(ranges, run.offset),
-                           run.length));
+            if (pipelined) {
+              // ---- pipelined WRITE: the previous window's write ran while
+              // this window's exchange was received; charge only whatever
+              // stall the exchange did not cover, then leave this window's
+              // write in flight in turn.  settle_deferred's clock_at_least
+              // also serialises consecutive window writes on the device.
+              if (pend_completion >= 0.0) {
+                settle_deferred(pend_issue, pend_completion);
+                pend_completion = -1.0;
+              }
+              stats_.overlap_windows += 1;
+              sim::Proc& proc = sim::current_proc();
+              pend_issue = proc.now();
+              DeferredScope defer(proc);
+              OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
+              obs::span_counter("window_bytes", win.size());
+              for (const Segment& run : union_runs(incoming)) {
+                fs_write(run.offset,
+                         std::span<const std::byte>(
+                             win.data() + win_index(ranges, run.offset),
+                             run.length));
+              }
+              pend_completion = defer.end();
+            } else {
+              OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
+              obs::span_counter("window_bytes", win.size());
+              // Write each covered run contiguously; holes are skipped so
+              // no read-modify-write is needed.
+              for (const Segment& run : union_runs(incoming)) {
+                fs_write(run.offset,
+                         std::span<const std::byte>(
+                             win.data() + win_index(ranges, run.offset),
+                             run.length));
+              }
             }
           }
         }
       }
     }
+  }
+
+  if (pend_completion >= 0.0) {
+    // The final window's write stays in flight: blocking collectives drain
+    // it on return, split collectives at their end call — by which point
+    // the caller's post-begin work may have hidden it entirely.
+    collective_pending_issue_ = pend_issue;
+    collective_pending_completion_ = pend_completion;
   }
 }
 

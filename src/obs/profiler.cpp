@@ -38,6 +38,7 @@ void Collector::begin_span(sim::Proc& proc, const char* name,
   rec.depth = static_cast<int>(stacks_[rank].size());
   rec.name = name;
   rec.category = cat;
+  rec.async = proc.deferred();
   rec.t_start = proc.now();
   const sim::ProcStats& s = proc.stats();
   rec.cpu_dt = s.cpu_time;    // entry snapshot; converted to delta at end

@@ -50,6 +50,10 @@ struct SpanRecord {
   int depth = 0;
   std::string name;
   TimeCategory category = TimeCategory::kCpu;
+  /// Recorded while the proc was in deferred (in-flight) mode: timestamps
+  /// come from the shadow clock, so the span can overlap the rank's
+  /// synchronous spans.  Exporters draw these on a separate per-rank track.
+  bool async = false;
   double t_start = 0.0;
   double t_end = 0.0;
   double cpu_dt = 0.0;

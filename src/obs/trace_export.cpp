@@ -53,6 +53,14 @@ void write_chrome_trace(const Collector& c, std::ostream& os) {
   os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
 
+  // Async (in-flight) spans overlap their rank's synchronous spans in time,
+  // so each rank with any gets a second track at tid = rank + nranks.  Runs
+  // without async spans emit no extra metadata — their traces are unchanged.
+  std::vector<bool> has_async(static_cast<std::size_t>(nranks), false);
+  for (const SpanRecord* s : spans) {
+    if (s->async) has_async[static_cast<std::size_t>(s->rank)] = true;
+  }
+
   write_event_prefix(os, first);
   os << R"({"ph":"M","pid":0,"tid":0,"name":"process_name",)"
      << R"("args":{"name":"paramrio"}})";
@@ -61,10 +69,18 @@ void write_chrome_trace(const Collector& c, std::ostream& os) {
     os << R"({"ph":"M","pid":0,"tid":)" << r
        << R"(,"name":"thread_name","args":{"name":"rank )" << r << R"("}})";
   }
+  for (int r = 0; r < nranks; ++r) {
+    if (!has_async[static_cast<std::size_t>(r)]) continue;
+    write_event_prefix(os, first);
+    os << R"({"ph":"M","pid":0,"tid":)" << r + nranks
+       << R"(,"name":"thread_name","args":{"name":"rank )" << r
+       << R"x( (async io)"}})x";
+  }
 
   for (const SpanRecord* s : spans) {
     write_event_prefix(os, first);
-    os << R"({"ph":"X","pid":0,"tid":)" << s->rank << R"(,"name":")"
+    os << R"({"ph":"X","pid":0,"tid":)"
+       << (s->async ? s->rank + nranks : s->rank) << R"(,"name":")"
        << json_escape(s->name) << R"(","cat":")" << to_string(s->category)
        << R"(","ts":)" << ts_us(s->t_start) << R"(,"dur":)"
        << ts_us(s->duration()) << R"(,"args":{)";

@@ -251,6 +251,23 @@ void NcFile::put_vara(int varid, const std::vector<std::uint64_t>& start,
   file_->write_at(0, buf);
 }
 
+mpi::io::Request NcFile::iput_vara(int varid,
+                                   const std::vector<std::uint64_t>& start,
+                                   const std::vector<std::uint64_t>& count,
+                                   std::span<const std::byte> buf) {
+  require_define(false);
+  const Var& v = var(varid);
+  std::uint64_t bytes = 0;
+  auto type = subarray_type(v, start, count, &bytes);
+  PARAMRIO_REQUIRE(buf.size() == bytes, "iput_vara: buffer size mismatch");
+  file_->set_view(v.offset, std::move(type));
+  return file_->iwrite_at(0, buf);
+}
+
+void NcFile::wait_all(std::span<mpi::io::Request> reqs) {
+  file_->wait_all(reqs);
+}
+
 void NcFile::get_vara(int varid, const std::vector<std::uint64_t>& start,
                       const std::vector<std::uint64_t>& count,
                       std::span<std::byte> buf) {

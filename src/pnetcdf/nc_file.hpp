@@ -107,6 +107,18 @@ class NcFile {
   void put_vara(int varid, const std::vector<std::uint64_t>& start,
                 const std::vector<std::uint64_t>& count,
                 std::span<const std::byte> buf);
+
+  /// Nonblocking independent write (PnetCDF's ncmpi_iput_vara): with the
+  /// file's Hints::overlap set, the I/O runs in flight and the returned
+  /// request must be completed with wait_all(); otherwise it completes
+  /// synchronously.  The buffer must stay live until then.
+  mpi::io::Request iput_vara(int varid,
+                             const std::vector<std::uint64_t>& start,
+                             const std::vector<std::uint64_t>& count,
+                             std::span<const std::byte> buf);
+
+  /// Complete outstanding iput_vara requests (ncmpi_wait_all).
+  void wait_all(std::span<mpi::io::Request> reqs);
   void get_vara(int varid, const std::vector<std::uint64_t>& start,
                 const std::vector<std::uint64_t>& count,
                 std::span<std::byte> buf);

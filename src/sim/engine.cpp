@@ -35,12 +35,20 @@ int Proc::nprocs() const { return engine_->nprocs(); }
 
 void Proc::advance(double dt, TimeCategory cat) {
   PARAMRIO_REQUIRE(dt >= 0.0, "negative time advance");
+  if (deferred_) {
+    shadow_clock_ += dt;
+    return;
+  }
   clock_ += dt;
   account(stats_, cat, dt);
   engine_->yield_from(rank_);
 }
 
 void Proc::clock_at_least(double t, TimeCategory cat) {
+  if (deferred_) {
+    if (t > shadow_clock_) shadow_clock_ = t;
+    return;
+  }
   if (t <= clock_) return;
   account(stats_, cat, t - clock_);
   clock_ = t;
@@ -49,13 +57,30 @@ void Proc::clock_at_least(double t, TimeCategory cat) {
 
 void Proc::use_resource(Timeline& tl, double service, TimeCategory cat) {
   PARAMRIO_REQUIRE(service >= 0.0, "negative service time");
+  if (deferred_) {
+    shadow_clock_ = tl.acquire(shadow_clock_, service);
+    return;
+  }
   double done = tl.acquire(clock_, service);
   account(stats_, cat, done - clock_);
   clock_ = done;
   engine_->yield_from(rank_);
 }
 
+void Proc::begin_deferred() {
+  PARAMRIO_REQUIRE(!deferred_, "begin_deferred: already deferred");
+  deferred_ = true;
+  shadow_clock_ = clock_;
+}
+
+double Proc::end_deferred() {
+  PARAMRIO_REQUIRE(deferred_, "end_deferred: not deferred");
+  deferred_ = false;
+  return shadow_clock_;
+}
+
 void Proc::block() {
+  PARAMRIO_REQUIRE(!deferred_, "block: cannot block while deferred");
   {
     std::lock_guard<std::mutex> l(engine_->mu_);
     engine_->states_[static_cast<std::size_t>(rank_)] =

@@ -84,7 +84,7 @@ class Proc {
  public:
   int rank() const { return rank_; }
   int nprocs() const;
-  double now() const { return clock_; }
+  double now() const { return deferred_ ? shadow_clock_ : clock_; }
 
   /// Spend `dt` seconds of virtual time, attributed to `cat`.
   void advance(double dt, TimeCategory cat = TimeCategory::kCpu);
@@ -99,7 +99,33 @@ class Proc {
 
   /// Mark this proc blocked and yield; returns after some other proc calls
   /// Engine::signal(rank()).  The caller must re-check its wake condition.
+  /// Not allowed while deferred (an in-flight op cannot message).
   void block();
+
+  // ---- deferred ("in-flight") execution --------------------------------
+  //
+  // Between begin_deferred() and end_deferred() the proc models work handed
+  // to an asynchronous agent (a DMA engine, an I/O servicing thread): code
+  // runs and moves bytes immediately — content stays deterministic because
+  // the baton still serialises execution — but time costs accrue on a
+  // *shadow* clock instead of the real one.  Timelines are still acquired
+  // (at shadow times >= the real clock, preserving their FIFO invariant,
+  // since this proc held the minimum clock when it was scheduled), no
+  // ProcStats time is accounted, and the baton is never yielded.
+  // end_deferred() returns the operation's virtual completion time; the
+  // issuer later settles it with clock_at_least(completion, cat), which
+  // charges exactly the stall that was not hidden behind other work.
+
+  /// Enter deferred mode (must not already be deferred).  The shadow clock
+  /// starts at the real clock.
+  void begin_deferred();
+
+  /// Leave deferred mode; returns the shadow clock — the virtual time at
+  /// which the deferred work completes.
+  double end_deferred();
+
+  /// True while inside a begin_deferred()/end_deferred() region.
+  bool deferred() const { return deferred_; }
 
   ProcStats& stats() { return stats_; }
   const ProcStats& stats() const { return stats_; }
@@ -117,6 +143,8 @@ class Proc {
   Engine* engine_;
   int rank_;
   double clock_ = 0.0;
+  double shadow_clock_ = 0.0;  ///< in-flight time while deferred_
+  bool deferred_ = false;
   ProcStats stats_;
   Rng rng_;
 };

@@ -10,6 +10,8 @@
 #include "enzo/backends.hpp"
 #include "enzo/dump_common.hpp"
 #include "enzo/simulation.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
 #include "pfs/local_fs.hpp"
 
 namespace paramrio::enzo {
@@ -250,6 +252,31 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Kind::kHdf4, Kind::kMpiIo,
                                          Kind::kHdf5, Kind::kPnetcdf),
                        ::testing::Values(1, 2, 4, 8)));
+
+TEST(BackendMpiIo, DumpHitsViewFlattenCache) {
+  // The eight baryon-field writes install the same subarray filetype at a
+  // different displacement each time — the flattening must be computed once
+  // and reused, visible as cache hits in the persisted file stats.
+  const int p = 4;
+  obs::Collector col;
+  obs::attach(&col);
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  mpi::Runtime rt(rparams(p));
+  rt.run([&](mpi::Comm& c) {
+    MpiIoBackend mb(fs);
+    EnzoSimulation sim(c, small_config());
+    sim.initialize_from_universe();
+    mb.write_dump(c, sim.state(), "dump");
+  });
+  obs::detach();
+  const obs::MetricsRegistry& reg = col.registry();
+  std::string scope;
+  for (const auto& [s, _] : reg.scopes()) {
+    if (s.rfind("file:dump.enzo|", 0) == 0) scope = s;
+  }
+  ASSERT_FALSE(scope.empty()) << reg.format();
+  EXPECT_GT(reg.get(scope, "view_flatten_cache_hits"), 0u) << reg.format();
+}
 
 TEST(BackendCross, MpiIoAndHdf5ProduceSameRestartState) {
   const int p = 4;
