@@ -96,7 +96,7 @@ void absorb_run_stats(obs::Collector& col, const sim::Engine::Result& res,
 }  // namespace
 
 IoResult run_enzo_io(const RunSpec& spec) {
-  platform::Testbed tb(spec.machine, spec.nprocs);
+  platform::Testbed tb(spec.machine, spec.nprocs, spec.sched_seed);
   IoResult result;
 
   if (spec.tracer) tb.fs().attach_observer(spec.tracer);
@@ -106,6 +106,7 @@ IoResult run_enzo_io(const RunSpec& spec) {
   }
   tb.fs().set_retry(spec.fs_retry);
   if (spec.collector) obs::attach(spec.collector);
+  if (spec.verifier) verify::attach(spec.verifier);
 
   sim::Engine::Result engine_result = tb.runtime().run([&](mpi::Comm& c) {
     auto backend = make_backend(spec, tb.fs());
@@ -159,6 +160,12 @@ IoResult run_enzo_io(const RunSpec& spec) {
     }
   });
 
+  if (spec.verifier) {
+    if (spec.collector) {
+      spec.verifier->report().export_to(spec.collector->registry());
+    }
+    verify::detach();
+  }
   if (spec.collector) {
     absorb_run_stats(*spec.collector, engine_result, tb, spec.tracer,
                      spec.injector);

@@ -14,6 +14,7 @@
 #include "obs/profiler.hpp"
 #include "platform/machine.hpp"
 #include "trace/io_tracer.hpp"
+#include "verify/verify.hpp"
 
 namespace paramrio::bench {
 
@@ -55,6 +56,18 @@ struct RunSpec {
   fault::Injector* injector = nullptr;
   /// File-system-level retry policy installed on the testbed fs.
   fault::RetryPolicy fs_retry;
+
+  /// Optional MPI-semantics verifier: attached (as both the mpi hook target
+  /// and the engine run observer) for the duration of the run.  Inspect
+  /// verifier->report() afterwards; when a collector is present the report
+  /// is also exported into its registry under scope "verify" (nonzero
+  /// counts only, so clean runs stay byte-identical).
+  verify::Verifier* verifier = nullptr;
+  /// Scheduler tie-shuffle seed (sim::Engine::Options::perturb_seed): 0
+  /// keeps the classic lowest-rank order; any nonzero value executes the
+  /// run under a different — equally legal — interleaving, for the
+  /// schedule-perturbation differential harness.
+  std::uint64_t sched_seed = 0;
 };
 
 /// Execute: initialise from the universe, evolve, timed checkpoint write,

@@ -3,12 +3,65 @@
 #include <algorithm>
 #include <cmath>
 
+#include "verify/verify.hpp"
+
 namespace paramrio::mpi {
 
 namespace {
 // Collective-internal tags live far above any user tag.
 constexpr int kCollTagBase = 1 << 24;
+
+/// Verifier window around one collective call: reports entry (sequence
+/// matching, deadlock-diagnosis stack push) and exit.  No-op when no
+/// verifier is attached.
+class CollectiveScope {
+ public:
+  CollectiveScope(const void* comm, int rank, int nranks, int seq,
+                  const std::string& op, int root)
+      : comm_(comm), rank_(rank) {
+    if (verify::Verifier* v = verify::verifier()) {
+      v->on_collective_begin(comm, rank, nranks, seq, op, root);
+    }
+  }
+  ~CollectiveScope() {
+    if (verify::Verifier* v = verify::verifier()) {
+      v->on_collective_end(comm_, rank_);
+    }
+  }
+  CollectiveScope(const CollectiveScope&) = delete;
+  CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+ private:
+  const void* comm_;
+  int rank_;
+};
+
+/// Scoped override of Comm::coll_ctx_ while a reduction lowers through
+/// reduce_exchange.
+class CollCtxGuard {
+ public:
+  CollCtxGuard(const char*& slot, const char* value)
+      : slot_(slot), prev_(slot) {
+    slot_ = value;
+  }
+  ~CollCtxGuard() { slot_ = prev_; }
+  CollCtxGuard(const CollCtxGuard&) = delete;
+  CollCtxGuard& operator=(const CollCtxGuard&) = delete;
+
+ private:
+  const char*& slot_;
+  const char* prev_;
+};
 }  // namespace
+
+std::string Comm::coll_op(const char* name) const {
+  if (coll_ctx_ == nullptr) return name;
+  std::string out = name;
+  out += "[";
+  out += coll_ctx_;
+  out += "]";
+  return out;
+}
 
 Runtime::Runtime(RuntimeParams params)
     : params_(params),
@@ -21,6 +74,7 @@ sim::Engine::Result Runtime::run(const std::function<void(Comm&)>& body) {
   sim::Engine::Options o;
   o.nprocs = params_.nprocs;
   o.seed = params_.seed;
+  o.perturb_seed = params_.perturb_seed;
   return sim::Engine::run(o, [this, &body](sim::Proc& proc) {
     Comm comm(*this, proc);
     body(comm);
@@ -50,8 +104,12 @@ Bytes Comm::recv(int src, int tag) {
     if (it != box.end()) {
       Runtime::Envelope env = std::move(*it);
       box.erase(it);
+      if (verify::Verifier* v = verify::verifier()) v->on_recv_done(rank());
       rt_->network_.receive(*proc_, env.arrival, env.payload.size());
       return std::move(env.payload);
+    }
+    if (verify::Verifier* v = verify::verifier()) {
+      v->on_recv_blocked(rank(), src, tag);
     }
     proc_->block();
   }
@@ -98,10 +156,19 @@ void Comm::wait_all(std::span<Request> requests) {
   for (Request& r : requests) wait(r);
 }
 
-int Comm::fresh_collective_tag() { return kCollTagBase + coll_seq_++; }
+int Comm::fresh_collective_tag() {
+  const int seq = coll_seq_++;
+  // A caller-implemented collective: it must sit at the same SPMD position
+  // on every rank, so it participates in sequence matching like any other.
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("user-collective"),
+                         -1);
+  return kCollTagBase + seq;
+}
 
 void Comm::barrier() {
-  int tag = kCollTagBase + coll_seq_++;
+  const int seq = coll_seq_++;
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("barrier"), -1);
+  int tag = kCollTagBase + seq;
   int p = size();
   for (int k = 1; k < p; k <<= 1) {
     int dst = (rank() + k) % p;
@@ -112,7 +179,9 @@ void Comm::barrier() {
 }
 
 void Comm::bcast(Bytes& data, int root) {
-  int tag = kCollTagBase + coll_seq_++;
+  const int seq = coll_seq_++;
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("bcast"), root);
+  int tag = kCollTagBase + seq;
   int p = size();
   if (p == 1) return;
   int vr = (rank() - root + p) % p;  // relative rank
@@ -136,7 +205,9 @@ void Comm::bcast(Bytes& data, int root) {
 }
 
 std::vector<Bytes> Comm::gatherv(std::span<const std::byte> mine, int root) {
-  int tag = kCollTagBase + coll_seq_++;
+  const int seq = coll_seq_++;
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("gatherv"), root);
+  int tag = kCollTagBase + seq;
   std::vector<Bytes> result;
   if (rank() == root) {
     result.resize(static_cast<std::size_t>(size()));
@@ -153,7 +224,9 @@ std::vector<Bytes> Comm::gatherv(std::span<const std::byte> mine, int root) {
 }
 
 Bytes Comm::scatterv(const std::vector<Bytes>& chunks, int root) {
-  int tag = kCollTagBase + coll_seq_++;
+  const int seq = coll_seq_++;
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("scatterv"), root);
+  int tag = kCollTagBase + seq;
   if (rank() == root) {
     PARAMRIO_REQUIRE(chunks.size() == static_cast<std::size_t>(size()),
                      "scatterv: need one chunk per rank");
@@ -168,7 +241,9 @@ Bytes Comm::scatterv(const std::vector<Bytes>& chunks, int root) {
 }
 
 std::vector<Bytes> Comm::allgatherv(std::span<const std::byte> mine) {
-  int tag = kCollTagBase + coll_seq_++;
+  const int seq = coll_seq_++;
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("allgatherv"), -1);
+  int tag = kCollTagBase + seq;
   int p = size();
   std::vector<Bytes> all(static_cast<std::size_t>(p));
   all[static_cast<std::size_t>(rank())].assign(mine.begin(), mine.end());
@@ -187,7 +262,9 @@ std::vector<Bytes> Comm::allgatherv(std::span<const std::byte> mine) {
 std::vector<Bytes> Comm::alltoallv(const std::vector<Bytes>& out) {
   PARAMRIO_REQUIRE(out.size() == static_cast<std::size_t>(size()),
                    "alltoallv: need one chunk per rank");
-  int tag = kCollTagBase + coll_seq_++;
+  const int seq = coll_seq_++;
+  CollectiveScope vscope(rt_, rank(), size(), seq, coll_op("alltoallv"), -1);
+  int tag = kCollTagBase + seq;
   int p = size();
   std::vector<Bytes> in(static_cast<std::size_t>(p));
   in[static_cast<std::size_t>(rank())] = out[static_cast<std::size_t>(rank())];
@@ -233,6 +310,7 @@ T from_bytes(const Bytes& b) {
 }  // namespace
 
 std::uint64_t Comm::allreduce_sum(std::uint64_t v) {
+  CollCtxGuard ctx(coll_ctx_, "allreduce:u64:sum");
   Bytes r = reduce_exchange(to_bytes(v), [](const Bytes& a, const Bytes& b) {
     return to_bytes(from_bytes<std::uint64_t>(a) +
                     from_bytes<std::uint64_t>(b));
@@ -241,6 +319,7 @@ std::uint64_t Comm::allreduce_sum(std::uint64_t v) {
 }
 
 std::uint64_t Comm::allreduce_max(std::uint64_t v) {
+  CollCtxGuard ctx(coll_ctx_, "allreduce:u64:max");
   Bytes r = reduce_exchange(to_bytes(v), [](const Bytes& a, const Bytes& b) {
     return to_bytes(std::max(from_bytes<std::uint64_t>(a),
                              from_bytes<std::uint64_t>(b)));
@@ -249,6 +328,7 @@ std::uint64_t Comm::allreduce_max(std::uint64_t v) {
 }
 
 std::uint64_t Comm::allreduce_min(std::uint64_t v) {
+  CollCtxGuard ctx(coll_ctx_, "allreduce:u64:min");
   Bytes r = reduce_exchange(to_bytes(v), [](const Bytes& a, const Bytes& b) {
     return to_bytes(std::min(from_bytes<std::uint64_t>(a),
                              from_bytes<std::uint64_t>(b)));
@@ -257,6 +337,7 @@ std::uint64_t Comm::allreduce_min(std::uint64_t v) {
 }
 
 double Comm::allreduce_max(double v) {
+  CollCtxGuard ctx(coll_ctx_, "allreduce:f64:max");
   Bytes r = reduce_exchange(to_bytes(v), [](const Bytes& a, const Bytes& b) {
     return to_bytes(std::max(from_bytes<double>(a), from_bytes<double>(b)));
   });
@@ -264,6 +345,7 @@ double Comm::allreduce_max(double v) {
 }
 
 std::vector<std::uint64_t> Comm::allreduce_sum(std::vector<std::uint64_t> v) {
+  CollCtxGuard ctx(coll_ctx_, "allreduce:u64vec:sum");
   Bytes mine(v.size() * sizeof(std::uint64_t));
   std::memcpy(mine.data(), v.data(), mine.size());
   Bytes r = reduce_exchange(mine, [](const Bytes& a, const Bytes& b) {

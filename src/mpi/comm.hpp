@@ -37,6 +37,9 @@ struct RuntimeParams {
   int nprocs = 1;
   int extra_fabric_nodes = 0;  ///< NICs for I/O servers on the same fabric
   std::uint64_t seed = 0x5eed5eed5eedULL;
+  /// Scheduler tie-shuffle seed (sim::Engine::Options::perturb_seed);
+  /// 0 keeps lowest-rank tie-breaks (PARAMRIO_SCHED_SEED may still apply).
+  std::uint64_t perturb_seed = 0;
 };
 
 class Comm;
@@ -172,9 +175,17 @@ class Comm {
       const Bytes& mine,
       const std::function<Bytes(const Bytes&, const Bytes&)>& combine);
 
+  /// Render a collective op name for the verifier, stitching in the active
+  /// reduction signature ("gatherv[allreduce:u64:sum]") so reductions that
+  /// lower to the same collective skeleton stay distinguishable.
+  std::string coll_op(const char* name) const;
+
   Runtime* rt_;
   sim::Proc* proc_;
   int coll_seq_ = 0;  ///< collective sequence number (same on all ranks)
+  /// Signature of the reduction currently lowering through reduce_exchange
+  /// (nullptr outside one); only read when a verifier is attached.
+  const char* coll_ctx_ = nullptr;
 };
 
 }  // namespace paramrio::mpi

@@ -4,6 +4,7 @@
 
 #include "mpi/io/deferred_scope.hpp"
 #include "obs/profiler.hpp"
+#include "verify/verify.hpp"
 
 namespace paramrio::mpi::io {
 
@@ -25,6 +26,13 @@ std::string hints_key(const Hints& h) {
 File::File(Comm& comm, pfs::FileSystem& fs, std::string path,
            pfs::OpenMode mode, Hints hints)
     : comm_(comm), fs_(fs), path_(std::move(path)), hints_(hints) {
+  if (verify::Verifier* v = verify::verifier()) {
+    // The open signature every rank must agree on: mode plus the full
+    // deterministic hints key.
+    v->on_file_open(path_, comm_.rank(), comm_.size(),
+                    "mode=" + std::to_string(static_cast<int>(mode)) + "|" +
+                        hints_key(hints_));
+  }
   if (mode == pfs::OpenMode::kCreate) {
     // Rank 0 creates/truncates; everyone else attaches read-write after the
     // creation is globally visible.
@@ -50,14 +58,29 @@ File::~File() {
 void File::close() {
   PARAMRIO_REQUIRE(open_, "File::close: already closed");
   OBS_SPAN("mpiio.close", sim::TimeCategory::kIo);
+  note_collective("close", 0);
   flush();
-  drain_collective();
+  // Drain-and-diagnose: everything still in flight is settled here so no
+  // accounting is lost, but leaks are counted and reported — an unwaited
+  // request, an unpaired split begin, or an unconsumed prefetch at close is
+  // a caller bug the verifier should see, not something to drop silently.
+  const bool split_leaked = split_active_;
+  drain_collective();  // settles an unpaired begin's in-flight window too
+  split_active_ = false;
+  const std::uint64_t leaked_requests = pending_requests_;
+  pending_requests_ = 0;
+  stats_.requests_leaked_at_close += leaked_requests;
+  const std::uint64_t leaked_prefetches = prefetched_.size();
   drop_prefetch();
   // In-flight independent ops the caller never waited on finish here; no
   // saved-time credit (wait() is where hiding is accounted), just the stall.
   if (sim::in_simulation() && inflight_horizon_ > 0.0) {
     sim::current_proc().clock_at_least(inflight_horizon_,
                                        sim::TimeCategory::kIo);
+  }
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_close(path_, comm_.rank(), leaked_requests, leaked_prefetches,
+                     split_leaked, stats_.overlap_saved_time);
   }
   comm_.barrier();
   persist_stats();
@@ -118,6 +141,25 @@ void File::persist_stats() {
   }
   if (stats_.overlap_saved_time > 0.0) {
     reg.add_value(scope, "overlap_saved_time", stats_.overlap_saved_time);
+  }
+  if (stats_.requests_leaked_at_close > 0) {
+    reg.add(scope, "requests_leaked_at_close",
+            stats_.requests_leaked_at_close);
+  }
+}
+
+void File::check_open(const char* op) const {
+  if (open_) return;
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_post_close_io(path_, comm_.rank(), op);
+  }
+  throw IoError("File::" + std::string(op) + "(" + path_ +
+                "): file is closed");
+}
+
+void File::note_collective(const char* op, std::uint64_t data_bytes) const {
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_collective(path_, comm_.rank(), op, data_bytes, view_sig_);
   }
 }
 
@@ -235,12 +277,18 @@ void File::set_view(std::uint64_t disp, Datatype filetype) {
   view_disp_ = disp;
   view_sig_ = filetype.signature();
   view_type_ = std::move(filetype);
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_view(path_, comm_.rank(), disp, view_sig_);
+  }
 }
 
 void File::set_view(std::uint64_t disp) {
   view_disp_ = disp;
   view_sig_ = 0;
   view_type_.reset();
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_view(path_, comm_.rank(), disp, 0);
+  }
 }
 
 std::uint64_t File::size() {
@@ -323,6 +371,7 @@ std::vector<Segment> File::map_view(std::uint64_t offset, std::uint64_t len) {
 }
 
 void File::read_at(std::uint64_t offset, std::span<std::byte> buf) {
+  check_open("read_at");
   if (buf.empty()) return;
   OBS_SPAN("mpiio.read", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
@@ -349,6 +398,7 @@ void File::read_at(std::uint64_t offset, std::span<std::byte> buf) {
 }
 
 void File::write_at(std::uint64_t offset, std::span<const std::byte> buf) {
+  check_open("write_at");
   if (buf.empty()) return;
   OBS_SPAN("mpiio.write", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
@@ -501,8 +551,10 @@ void File::independent_write(const std::vector<Segment>& segs,
 }
 
 void File::read_at_all(std::uint64_t offset, std::span<std::byte> buf) {
+  check_open("read_at_all");
   PARAMRIO_REQUIRE(!split_active_,
                    "read_at_all: split collective still active");
+  note_collective("read_at_all", buf.size());
   OBS_SPAN("mpiio.read_all", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
   flush();
@@ -513,8 +565,10 @@ void File::read_at_all(std::uint64_t offset, std::span<std::byte> buf) {
 
 void File::write_at_all(std::uint64_t offset,
                         std::span<const std::byte> buf) {
+  check_open("write_at_all");
   PARAMRIO_REQUIRE(!split_active_,
                    "write_at_all: split collective still active");
+  note_collective("write_at_all", buf.size());
   OBS_SPAN("mpiio.write_all", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
   flush();
@@ -536,9 +590,14 @@ bool File::overlap_enabled() const {
 void File::settle_deferred(double issued, double completion) {
   if (!sim::in_simulation()) return;
   sim::Proc& proc = sim::current_proc();
-  const double hidden = std::min(completion, proc.now()) - issued;
+  const double now_before = proc.now();
+  const double hidden = std::min(completion, now_before) - issued;
   if (hidden > 0.0) stats_.overlap_saved_time += hidden;
   proc.clock_at_least(completion, sim::TimeCategory::kIo);
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_settle(path_, comm_.rank(), issued, completion,
+                      hidden > 0.0 ? hidden : 0.0, now_before, proc.now());
+  }
 }
 
 void File::drain_collective() {
@@ -576,6 +635,7 @@ void File::drop_prefetch() {
 }
 
 Request File::iread_at(std::uint64_t offset, std::span<std::byte> buf) {
+  check_open("iread_at");
   Request req;
   if (buf.empty()) return req;
   if (!overlap_enabled()) {
@@ -596,11 +656,17 @@ Request File::iread_at(std::uint64_t offset, std::span<std::byte> buf) {
     req.completion_ = defer.end();
   }
   req.active_ = true;
+  pending_requests_ += 1;
   inflight_horizon_ = std::max(inflight_horizon_, req.completion_);
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_deferred_issue(path_, comm_.rank(), req.issued_,
+                              req.completion_);
+  }
   return req;
 }
 
 Request File::iwrite_at(std::uint64_t offset, std::span<const std::byte> buf) {
+  check_open("iwrite_at");
   Request req;
   if (buf.empty()) return req;
   if (!overlap_enabled()) {
@@ -621,13 +687,19 @@ Request File::iwrite_at(std::uint64_t offset, std::span<const std::byte> buf) {
     req.completion_ = defer.end();
   }
   req.active_ = true;
+  pending_requests_ += 1;
   inflight_horizon_ = std::max(inflight_horizon_, req.completion_);
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_deferred_issue(path_, comm_.rank(), req.issued_,
+                              req.completion_);
+  }
   return req;
 }
 
 void File::wait(Request& req) {
   if (!req.active_) return;
   req.active_ = false;
+  if (pending_requests_ > 0) pending_requests_ -= 1;
   settle_deferred(req.issued_, req.completion_);
 }
 
@@ -636,8 +708,10 @@ void File::wait_all(std::span<Request> reqs) {
 }
 
 void File::read_at_all_begin(std::uint64_t offset, std::span<std::byte> buf) {
+  check_open("read_at_all_begin");
   PARAMRIO_REQUIRE(!split_active_,
                    "read_at_all_begin: split collective already active");
+  note_collective("read_at_all_begin", buf.size());
   OBS_SPAN("mpiio.read_all_begin", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
   flush();
@@ -647,8 +721,10 @@ void File::read_at_all_begin(std::uint64_t offset, std::span<std::byte> buf) {
 }
 
 void File::read_at_all_end() {
+  check_open("read_at_all_end");
   PARAMRIO_REQUIRE(split_active_,
                    "read_at_all_end: no split collective active");
+  note_collective("read_at_all_end", 0);
   OBS_SPAN("mpiio.read_all_end", sim::TimeCategory::kIo);
   drain_collective();
   split_active_ = false;
@@ -657,8 +733,10 @@ void File::read_at_all_end() {
 
 void File::write_at_all_begin(std::uint64_t offset,
                               std::span<const std::byte> buf) {
+  check_open("write_at_all_begin");
   PARAMRIO_REQUIRE(!split_active_,
                    "write_at_all_begin: split collective already active");
+  note_collective("write_at_all_begin", buf.size());
   OBS_SPAN("mpiio.write_all_begin", sim::TimeCategory::kIo);
   obs::span_counter("bytes", buf.size());
   flush();
@@ -669,8 +747,10 @@ void File::write_at_all_begin(std::uint64_t offset,
 }
 
 void File::write_at_all_end() {
+  check_open("write_at_all_end");
   PARAMRIO_REQUIRE(split_active_,
                    "write_at_all_end: no split collective active");
+  note_collective("write_at_all_end", 0);
   OBS_SPAN("mpiio.write_all_end", sim::TimeCategory::kIo);
   drain_collective();
   split_active_ = false;
@@ -678,6 +758,7 @@ void File::write_at_all_end() {
 }
 
 void File::prefetch(std::uint64_t offset, std::uint64_t len) {
+  check_open("prefetch");
   if (len == 0 || !overlap_enabled()) return;
   flush();  // the prefetched bytes must observe this rank's buffered writes
   auto segs = map_view(offset, len);
@@ -700,6 +781,10 @@ void File::prefetch(std::uint64_t offset, std::uint64_t len) {
     entry.completion = defer.end();
   }
   inflight_horizon_ = std::max(inflight_horizon_, entry.completion);
+  if (verify::Verifier* v = verify::verifier()) {
+    v->on_file_deferred_issue(path_, comm_.rank(), entry.issued,
+                              entry.completion);
+  }
   prefetched_.push_back(std::move(entry));
 }
 

@@ -138,6 +138,11 @@ struct FileStats {
   /// Virtual seconds of in-flight I/O hidden behind other work: for every
   /// deferred operation, min(completion, wait time) - issue time.
   double overlap_saved_time = 0.0;
+  /// Nonblocking requests still active when close() ran.  close() settles
+  /// their in-flight time (no data is lost), but an unwaited request is an
+  /// MPI semantics violation — counted here and reported through the
+  /// verifier instead of silently dropped.
+  std::uint64_t requests_leaked_at_close = 0;
 };
 
 /// Compact deterministic key for a hint set, used to name the registry scope
@@ -281,6 +286,14 @@ class File {
   /// True when deferred (in-flight) execution is available and requested.
   bool overlap_enabled() const;
 
+  /// Reject I/O on a closed File: reports kPostCloseIo through the verifier
+  /// (when attached) and throws IoError naming the call.
+  void check_open(const char* op) const;
+
+  /// Tell the attached verifier (if any) that this rank entered the file
+  /// collective `op` carrying `data_bytes` of payload.
+  void note_collective(const char* op, std::uint64_t data_bytes) const;
+
   /// Settle a deferred operation issued at `issued` completing at
   /// `completion`: credit the hidden portion to overlap_saved_time and
   /// charge the rest as kIo stall.
@@ -345,6 +358,10 @@ class File {
   /// Latest completion of any deferred op (close() drains to here so the
   /// file is only "closed" once all in-flight I/O has virtually finished).
   double inflight_horizon_ = 0.0;
+
+  /// Requests issued but not yet waited (wait() decrements); close() counts
+  /// what is left as requests_leaked_at_close.
+  std::uint64_t pending_requests_ = 0;
 };
 
 }  // namespace paramrio::mpi::io

@@ -25,6 +25,7 @@
 #include "mpi/io/deferred_scope.hpp"
 #include "mpi/io/file.hpp"
 #include "obs/profiler.hpp"
+#include "verify/verify.hpp"
 
 namespace paramrio::mpi::io {
 
@@ -435,6 +436,10 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
         }
       }
       rp_completion = defer.end();
+      if (verify::Verifier* v = verify::verifier()) {
+        v->on_file_deferred_issue(path_, comm_.rank(), rp_issue,
+                                  rp_completion);
+      }
     };
 
     if (i_aggregate && geom.ntimes > 0) {
@@ -675,6 +680,10 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
                              run.length));
               }
               pend_completion = defer.end();
+              if (verify::Verifier* v = verify::verifier()) {
+                v->on_file_deferred_issue(path_, comm_.rank(), pend_issue,
+                                          pend_completion);
+              }
             } else {
               OBS_SPAN("two_phase.io", sim::TimeCategory::kIo);
               obs::span_counter("window_bytes", win.size());

@@ -96,13 +96,15 @@ Machine chiba_local_disk() {
   return m;
 }
 
-Testbed::Testbed(const Machine& machine, int nprocs) : machine_(machine),
+Testbed::Testbed(const Machine& machine, int nprocs,
+                 std::uint64_t perturb_seed) : machine_(machine),
       runtime_([&] {
         mpi::RuntimeParams p;
         p.net = machine.net;
         p.cpu = machine.cpu;
         p.nprocs = nprocs;
         p.extra_fabric_nodes = machine.extra_fabric_nodes();
+        p.perturb_seed = perturb_seed;
         return p;
       }()) {
   switch (machine_.fs_kind) {

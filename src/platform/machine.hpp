@@ -49,7 +49,10 @@ Machine chiba_local_disk();
 /// system may share) plus the machine's file system.
 class Testbed {
  public:
-  Testbed(const Machine& machine, int nprocs);
+  /// `perturb_seed` feeds sim::Engine::Options::perturb_seed (scheduler
+  /// tie-shuffle for race detection; 0 = classic lowest-rank order).
+  Testbed(const Machine& machine, int nprocs,
+          std::uint64_t perturb_seed = 0);
 
   mpi::Runtime& runtime() { return runtime_; }
   pfs::FileSystem& fs() { return *fs_; }

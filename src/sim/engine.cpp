@@ -1,12 +1,16 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace paramrio::sim {
 
 namespace {
 thread_local Proc* t_current_proc = nullptr;
+
+RunObserver* g_run_observer = nullptr;
 
 void account(ProcStats& s, TimeCategory cat, double dt) {
   switch (cat) {
@@ -22,6 +26,21 @@ void account(ProcStats& s, TimeCategory cat, double dt) {
   }
 }
 }  // namespace
+
+std::uint64_t Engine::Options::effective_perturb_seed() const {
+  if (perturb_seed != 0) return perturb_seed;
+  if (!env_perturb) return 0;
+  const char* env = std::getenv("PARAMRIO_SCHED_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+void set_run_observer(RunObserver* obs) { g_run_observer = obs; }
+
+RunObserver* run_observer() { return g_run_observer; }
 
 Proc& current_proc() {
   PARAMRIO_REQUIRE(t_current_proc != nullptr,
@@ -93,6 +112,11 @@ Engine::Result Engine::run(const Options& options,
                            const std::function<void(Proc&)>& body) {
   PARAMRIO_REQUIRE(options.nprocs >= 1, "need at least one proc");
   Engine engine;
+  const std::uint64_t perturb = options.effective_perturb_seed();
+  if (perturb != 0) {
+    engine.perturb_ = true;
+    engine.perturb_rng_ = Rng(perturb);
+  }
   Rng root(options.seed);
   engine.procs_.reserve(static_cast<std::size_t>(options.nprocs));
   for (int r = 0; r < options.nprocs; ++r) {
@@ -144,11 +168,18 @@ void Engine::thread_main(int rank, const std::function<void(Proc&)>& body) {
   } catch (const Aborted&) {
     // Another rank failed; just unwind quietly.
   } catch (...) {
-    std::lock_guard<std::mutex> l(mu_);
-    states_[static_cast<std::size_t>(rank)] = State::kFinished;
-    abort_locked(std::current_exception());
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      states_[static_cast<std::size_t>(rank)] = State::kFinished;
+      abort_locked(std::current_exception());
+    }
+    release_unwind(rank);
     t_current_proc = nullptr;
     return;
+  }
+  if (clean && !aborted_ && g_run_observer != nullptr) {
+    // The baton is still ours here: the observer sees serialised state.
+    g_run_observer->on_proc_finished(rank, proc.deferred(), proc.now());
   }
   {
     std::lock_guard<std::mutex> l(mu_);
@@ -157,7 +188,22 @@ void Engine::thread_main(int rank, const std::function<void(Proc&)>& body) {
       pass_baton_locked();
     }
   }
+  release_unwind(rank);
   t_current_proc = nullptr;
+}
+
+void Engine::acquire_unwind_locked(std::unique_lock<std::mutex>& l, int rank) {
+  if (unwinder_ == rank) return;
+  unwind_cv_.wait(l, [&] { return unwinder_ == -1; });
+  unwinder_ = rank;
+}
+
+void Engine::release_unwind(int rank) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (unwinder_ == rank) {
+    unwinder_ = -1;
+    unwind_cv_.notify_all();
+  }
 }
 
 void Engine::yield_from(int rank) {
@@ -169,6 +215,10 @@ void Engine::yield_from(int rank) {
   const bool unwinding = std::uncaught_exceptions() > 0;
   std::unique_lock<std::mutex> l(mu_);
   if (aborted_) {
+    // The baton stops circulating at abort, but the destructors that land
+    // here still touch shared state; the unwind token keeps post-abort
+    // unwinding mutually exclusive (one rank at a time).
+    acquire_unwind_locked(l, rank);
     if (unwinding) return;
     throw Aborted{};
   }
@@ -178,23 +228,39 @@ void Engine::yield_from(int rank) {
         l, [&] { return current_ == rank || aborted_; });
   }
   if (aborted_) {
+    acquire_unwind_locked(l, rank);
     if (unwinding) return;
     throw Aborted{};
   }
 }
 
-int Engine::pick_next_locked() const {
+int Engine::pick_next_locked() {
   int best = -1;
   double best_clock = 0.0;
+  int ties = 0;  // runnable procs whose clock equals best_clock exactly
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     if (states_[i] != State::kRunnable) continue;
     double c = procs_[i].now();
     if (best < 0 || c < best_clock) {
       best = static_cast<int>(i);
       best_clock = c;
+      ties = 1;
+    } else if (c == best_clock) {
+      ++ties;
     }
   }
-  return best;
+  if (!perturb_ || ties <= 1) return best;
+  // Schedule perturbation: break the tie by a seeded draw instead of lowest
+  // rank.  Any tie order is a legal serialisation of the same virtual-time
+  // schedule, so correct programs are insensitive to the choice.
+  std::uint64_t pick = perturb_rng_.next_u64() % static_cast<std::uint64_t>(ties);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (states_[i] != State::kRunnable) continue;
+    if (procs_[i].now() != best_clock) continue;
+    if (pick == 0) return static_cast<int>(i);
+    --pick;
+  }
+  return best;  // unreachable
 }
 
 void Engine::pass_baton_locked() {
@@ -211,9 +277,17 @@ void Engine::pass_baton_locked() {
   if (!all_finished) {
     int blocked = 0;
     for (State s : states_) blocked += (s == State::kBlocked) ? 1 : 0;
-    abort_locked(std::make_exception_ptr(DeadlockError(
-        "simulation deadlock: " + std::to_string(blocked) +
-        " proc(s) blocked with no runnable proc")));
+    std::string message = "simulation deadlock: " + std::to_string(blocked) +
+                          " proc(s) blocked with no runnable proc";
+    if (g_run_observer != nullptr) {
+      // The verify layer (when attached) knows what each blocked rank was
+      // doing — the collective it entered, the peer its receive awaits —
+      // and renders the wait-for cycle.  Serialised: we hold the engine
+      // lock and no proc is runnable.
+      const std::string diagnosis = g_run_observer->diagnose_deadlock();
+      if (!diagnosis.empty()) message += "\n" + diagnosis;
+    }
+    abort_locked(std::make_exception_ptr(DeadlockError(message)));
   }
   current_ = -1;
 }

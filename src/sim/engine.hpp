@@ -149,12 +149,57 @@ class Proc {
   Rng rng_;
 };
 
+/// Passive observer of engine-level events, for the verify layer (the
+/// engine itself stays dependency-free).  Install with set_run_observer()
+/// outside a run; all callbacks arrive serialised (either from the proc
+/// holding the baton or under the engine lock at abort time).
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// A proc's body returned cleanly.  `deferred` is true when the proc
+  /// finished inside an unsettled begin_deferred() region — its clock no
+  /// longer reflects the in-flight work it issued.
+  virtual void on_proc_finished(int rank, bool deferred, double clock) = 0;
+
+  /// The engine found no runnable proc with unfinished procs remaining.
+  /// The returned text (e.g. blocked ops and the wait-for cycle) is
+  /// appended to the DeadlockError the run rethrows.
+  virtual std::string diagnose_deadlock() = 0;
+};
+
+/// Install `obs` as the process-wide run observer (nullptr detaches).  Call
+/// outside Engine::run.
+void set_run_observer(RunObserver* obs);
+RunObserver* run_observer();
+
 /// The engine itself.  Construct, then call run() with the per-rank body.
 class Engine {
  public:
   struct Options {
     int nprocs = 1;
     std::uint64_t seed = 0x5eed5eed5eedULL;  ///< root of all per-rank RNGs
+
+    /// Schedule perturbation: when nonzero, scheduling ties — runnable procs
+    /// whose virtual clocks are exactly equal at a baton pass — are broken
+    /// by a deterministic seeded shuffle instead of by lowest rank.  Every
+    /// perturbed schedule is a legal serialisation of the same virtual-time
+    /// order, so a correct program produces byte-identical results under
+    /// every seed; a program whose output depends on tie order is a
+    /// concurrency bug this flushes out (see docs/VERIFY.md).  0 (default)
+    /// keeps the classic lowest-rank tie-break; when 0, the
+    /// PARAMRIO_SCHED_SEED environment variable, if set and nonzero,
+    /// supplies the seed (so whole test suites can run perturbed).
+    std::uint64_t perturb_seed = 0;
+
+    /// When false, PARAMRIO_SCHED_SEED is ignored; tests that assert the
+    /// classic lowest-rank tie order pin it with this.
+    bool env_perturb = true;
+
+    /// The seed the engine will actually use: `perturb_seed` when nonzero,
+    /// else the PARAMRIO_SCHED_SEED environment variable (0 on absence, a
+    /// malformed value, or `env_perturb` false).
+    std::uint64_t effective_perturb_seed() const;
   };
 
   struct Result {
@@ -185,8 +230,14 @@ class Engine {
   void thread_main(int rank, const std::function<void(Proc&)>& body);
   void yield_from(int rank);
   void pass_baton_locked();
-  int pick_next_locked() const;
+  int pick_next_locked();
   void abort_locked(std::exception_ptr e);
+  /// Post-abort unwind serialisation: at most one proc thread at a time may
+  /// run destructors after the run is aborted (they touch shared layers —
+  /// file systems, the obs collector — that rely on the baton for mutual
+  /// exclusion, and the baton is gone once the run aborts).
+  void acquire_unwind_locked(std::unique_lock<std::mutex>& l, int rank);
+  void release_unwind(int rank);
 
   std::mutex mu_;
   std::vector<std::unique_ptr<std::condition_variable>> cvs_;  // per proc
@@ -195,6 +246,10 @@ class Engine {
   int current_ = 0;
   bool aborted_ = false;
   std::exception_ptr first_error_;
+  int unwinder_ = -1;  ///< rank holding the post-abort unwind token
+  std::condition_variable unwind_cv_;
+  bool perturb_ = false;
+  Rng perturb_rng_{0};  ///< tie-shuffle stream (perturb_ only)
 
   friend class Proc;
 };

@@ -54,13 +54,13 @@ TEST(Deferral, ShadowClockRunsAheadWithoutCharging) {
     const double t0 = p.now();
     const double cpu0 = p.stats().cpu_time;
     const double io0 = p.stats().io_time;
-    p.begin_deferred();
+    p.begin_deferred();  // lint:allow(deferred-raii) exercises the raw API
     EXPECT_TRUE(p.deferred());
     p.advance(0.5, sim::TimeCategory::kIo);
     EXPECT_DOUBLE_EQ(p.now(), t0 + 0.5);  // shadow clock visible
     p.clock_at_least(t0 + 2.0, sim::TimeCategory::kIo);
     EXPECT_DOUBLE_EQ(p.now(), t0 + 2.0);
-    const double completion = p.end_deferred();
+    const double completion = p.end_deferred();  // lint:allow(deferred-raii)
     EXPECT_DOUBLE_EQ(completion, t0 + 2.0);
     // The real clock and the accounting never moved.
     EXPECT_FALSE(p.deferred());
@@ -72,10 +72,12 @@ TEST(Deferral, ShadowClockRunsAheadWithoutCharging) {
 
 TEST(Deferral, NestedBeginAndStrayEndAreRejected) {
   sim::Engine::run(eopts(1), [&](sim::Proc& p) {
+    // lint:allow(deferred-raii)
     EXPECT_THROW(p.end_deferred(), LogicError);
-    p.begin_deferred();
+    p.begin_deferred();  // lint:allow(deferred-raii)
+    // lint:allow(deferred-raii)
     EXPECT_THROW(p.begin_deferred(), LogicError);
-    p.end_deferred();
+    p.end_deferred();  // lint:allow(deferred-raii)
   });
 }
 
@@ -140,6 +142,7 @@ TEST(OverlapIndependent, CloseDrainsUnwaitedRequests) {
     h.overlap = true;
     File f(c, fs, "a", pfs::OpenMode::kCreate, h);
     auto data = pattern(256 * KiB);
+    // lint:allow(missing-wait) — the point is that close() drains it
     Request r = f.iwrite_at(0, data);  // never waited
     (void)r;
     const double before = sim::current_proc().now();
