@@ -10,6 +10,9 @@
 #include "amr/universe.hpp"
 #include "hdf5/dataspace.hpp"
 #include "mpi/datatype.hpp"
+#include "net/network.hpp"
+#include "pfs/local_disk_fs.hpp"
+#include "pfs/striped_fs.hpp"
 
 namespace {
 
@@ -117,6 +120,62 @@ void BM_ClusterFlags(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClusterFlags)->Arg(32)->Arg(64);
+
+// ---- pfs interval bookkeeping ---------------------------------------------
+// Host-time cost of the file systems' per-request range bookkeeping (write
+// tokens, ownership maps, buffer-cache intervals) under an AMR256-scale
+// stream of small strided writes.  Before the merged-run/coalescing fixes
+// these structures grew one node per stripe or per request, so the walk in
+// every subsequent request made the whole sweep quadratic; now they stay at
+// one node per contiguous region and the curves below are ~linear.
+
+void BM_StripedFsTokenStream(benchmark::State& state) {
+  const auto requests = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kChunk = 64 * KiB;
+  pfs::StripedFsParams fp;
+  fp.write_lock_cost = ms(1);  // exercise the token-owner map
+  net::NetworkParams np;
+  for (auto _ : state) {
+    net::Network net(np, 1, fp.n_io_nodes);
+    pfs::StripedFs fs(fp, net);
+    sim::Engine::Options o;
+    o.nprocs = 1;
+    sim::Engine::run(o, [&](sim::Proc&) {
+      std::vector<std::byte> buf(kChunk);
+      int fd = fs.open("stream", pfs::OpenMode::kCreate);
+      for (int i = 0; i < requests; ++i) {
+        fs.write_at(fd, static_cast<std::uint64_t>(i) * kChunk, buf);
+      }
+      fs.close(fd);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          requests);
+}
+BENCHMARK(BM_StripedFsTokenStream)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_LocalDiskOwnershipStream(benchmark::State& state) {
+  const auto requests = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kChunk = 64 * KiB;
+  for (auto _ : state) {
+    pfs::LocalDiskFs fs(pfs::LocalDiskFsParams{}, /*nprocs=*/1);
+    sim::Engine::Options o;
+    o.nprocs = 1;
+    sim::Engine::run(o, [&](sim::Proc&) {
+      std::vector<std::byte> buf(kChunk);
+      int fd = fs.open("stream", pfs::OpenMode::kCreate);
+      for (int i = 0; i < requests; ++i) {
+        const auto off = static_cast<std::uint64_t>(i) * kChunk;
+        fs.write_at(fd, off, buf);
+        fs.read_at(fd, off, buf);  // ownership walk + page-cache intervals
+      }
+      fs.close(fd);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          requests);
+}
+BENCHMARK(BM_LocalDiskOwnershipStream)->Arg(1024)->Arg(4096)->Arg(16384);
 
 }  // namespace
 

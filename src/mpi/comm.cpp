@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "verify/verify.hpp"
 
@@ -75,10 +76,42 @@ sim::Engine::Result Runtime::run(const std::function<void(Comm&)>& body) {
   o.nprocs = params_.nprocs;
   o.seed = params_.seed;
   o.perturb_seed = params_.perturb_seed;
+  o.backend = params_.backend;
   return sim::Engine::run(o, [this, &body](sim::Proc& proc) {
     Comm comm(*this, proc);
     body(comm);
   });
+}
+
+std::vector<sim::Engine::JobResult> MultiRuntime::run(std::vector<Job> jobs) {
+  PARAMRIO_REQUIRE(!jobs.empty(), "MultiRuntime: need >= 1 job");
+  // One Runtime per job: private fabric and mailboxes, job-local ranks.
+  std::vector<std::unique_ptr<Runtime>> runtimes;
+  runtimes.reserve(jobs.size());
+  std::vector<sim::Engine::JobSpec> specs;
+  specs.reserve(jobs.size());
+  for (Job& j : jobs) {
+    runtimes.push_back(std::make_unique<Runtime>(j.params));
+    Runtime* rt = runtimes.back().get();
+    rt->mailboxes_.assign(static_cast<std::size_t>(j.params.nprocs), {});
+    sim::Engine::JobSpec spec;
+    spec.name = j.name;
+    spec.nprocs = j.params.nprocs;
+    spec.start_time = j.start_time;
+    spec.weight = j.weight;
+    // `jobs` (and thus each body) outlives the engine run below.
+    const std::function<void(Comm&)>& body = j.body;
+    spec.body = [rt, &body](sim::Proc& proc) {
+      Comm comm(*rt, proc);
+      body(comm);
+    };
+    specs.push_back(std::move(spec));
+  }
+  sim::Engine::Options o;
+  o.seed = jobs.front().params.seed;
+  o.perturb_seed = jobs.front().params.perturb_seed;
+  o.backend = jobs.front().params.backend;
+  return sim::Engine::run_jobs(o, std::move(specs));
 }
 
 void Comm::send(int dst, int tag, std::span<const std::byte> data) {
@@ -90,7 +123,7 @@ void Comm::send(int dst, int tag, std::span<const std::byte> data) {
   env.arrival = arrival;
   env.payload.assign(data.begin(), data.end());
   rt_->mailboxes_[static_cast<std::size_t>(dst)].push_back(std::move(env));
-  if (dst != rank()) proc_->engine().signal(dst);
+  if (dst != rank()) proc_->engine().signal(proc_->job(), dst);
 }
 
 Bytes Comm::recv(int src, int tag) {

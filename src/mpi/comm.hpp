@@ -40,6 +40,9 @@ struct RuntimeParams {
   /// Scheduler tie-shuffle seed (sim::Engine::Options::perturb_seed);
   /// 0 keeps lowest-rank tie-breaks (PARAMRIO_SCHED_SEED may still apply).
   std::uint64_t perturb_seed = 0;
+  /// Scheduler backend (sim::Engine::Options::backend); kAuto resolves to
+  /// fibers except under ThreadSanitizer or PARAMRIO_SIM_ENGINE=threads.
+  sim::SchedBackend backend = sim::SchedBackend::kAuto;
 };
 
 class Comm;
@@ -58,6 +61,7 @@ class Runtime {
 
  private:
   friend class Comm;
+  friend class MultiRuntime;
   struct Envelope {
     int src = 0;
     int tag = 0;
@@ -68,6 +72,31 @@ class Runtime {
   RuntimeParams params_;
   net::Network network_;
   std::vector<std::deque<Envelope>> mailboxes_;  // one per destination rank
+};
+
+/// Multi-tenant driver: several independent SPMD jobs — each with its own
+/// Runtime (compute fabric + mailboxes) — executing concurrently on one
+/// shared virtual timeline (sim::Engine::run_jobs).  The mpi layer is fully
+/// job-local: ranks, tags and collectives never cross jobs.  Contention
+/// happens in whatever *shared* resources the bodies capture — typically one
+/// pfs::FileSystem on its own storage fabric, which identifies clients by
+/// Proc::global_rank() and arbitrates its I/O servers by per-job fair share.
+class MultiRuntime {
+ public:
+  struct Job {
+    std::string name;  ///< metrics-scope label; "" = anonymous
+    RuntimeParams params;
+    std::function<void(Comm&)> body;
+    double start_time = 0.0;  ///< virtual time the job's ranks start at
+    double weight = 1.0;      ///< fair-share weight at shared I/O servers
+  };
+
+  /// Run all jobs to completion; returns one JobResult per job, in order
+  /// (clocks are absolute — subtract start_time for job-local elapsed).
+  /// Engine-level seeds come from the *first* job's params (seed,
+  /// perturb_seed), matching Runtime::run for the single-job case.  Any
+  /// rank's exception aborts the whole run and is rethrown.
+  static std::vector<sim::Engine::JobResult> run(std::vector<Job> jobs);
 };
 
 /// Per-rank communicator handle (value semantics over the shared Runtime).

@@ -350,21 +350,28 @@ std::vector<Segment> File::map_view(std::uint64_t offset, std::uint64_t len) {
     segs.push_back(Segment{view_disp_ + offset, len});
     return segs;
   }
-  // Flatten memo: the result is stored disp-relative and keyed by the
+  // Flatten memo: results are stored disp-relative and keyed by the
   // filetype's layout signature, so re-installing an identical filetype at a
   // different displacement (ENZO sets one subarray view per baryon field)
-  // still hits.
-  if (flatten_cache_.valid && flatten_cache_.sig == view_sig_ &&
-      flatten_cache_.offset == offset && flatten_cache_.len == len) {
+  // still hits; the LRU keeps alternating views from evicting each other.
+  auto hit = std::find_if(flatten_cache_.begin(), flatten_cache_.end(),
+                          [&](const FlattenEntry& e) {
+                            return e.sig == view_sig_ && e.offset == offset &&
+                                   e.len == len;
+                          });
+  if (hit != flatten_cache_.end()) {
     stats_.view_flatten_cache_hits += 1;
-    segs = flatten_cache_.segs;
+    if (hit != flatten_cache_.begin()) {
+      std::rotate(flatten_cache_.begin(), hit, std::next(hit));
+    }
+    segs = flatten_cache_.front().segs;
   } else {
     view_type_->map_stream(offset, len, segs);
-    flatten_cache_.valid = true;
-    flatten_cache_.sig = view_sig_;
-    flatten_cache_.offset = offset;
-    flatten_cache_.len = len;
-    flatten_cache_.segs = segs;
+    if (flatten_cache_.size() >= kFlattenCacheCapacity) {
+      flatten_cache_.pop_back();
+    }
+    flatten_cache_.insert(flatten_cache_.begin(),
+                          FlattenEntry{view_sig_, offset, len, segs});
   }
   for (Segment& s : segs) s.offset += view_disp_;
   return segs;

@@ -328,17 +328,22 @@ class File {
   /// backoff delays per retried operation.
   std::uint64_t retry_op_serial_ = 0;
 
-  /// View-flatten memo: the previous map_view's result (disp-relative) keyed
-  /// by the filetype's signature and the requested stream range.
-  struct ViewFlattenCache {
-    bool valid = false;
+  /// View-flatten memo: a small LRU of recent flattenings (disp-relative)
+  /// keyed by filetype signature and requested stream range.  The previous
+  /// single-entry memo thrashed to zero hits the moment a rank alternated
+  /// between two installed views (ENZO interleaves each baryon field's
+  /// subarray view with the boundary's) — every call evicted the other's
+  /// entry and re-flattened.  Eight entries cover the alternation depths the
+  /// I/O layers produce while keeping lookup a trivial scan.
+  struct FlattenEntry {
     std::uint64_t sig = 0;
     std::uint64_t offset = 0;
     std::uint64_t len = 0;
     std::vector<Segment> segs;  ///< relative to disp 0
   };
+  static constexpr std::size_t kFlattenCacheCapacity = 8;
   std::uint64_t view_sig_ = 0;  ///< signature of the installed filetype
-  ViewFlattenCache flatten_cache_;
+  std::vector<FlattenEntry> flatten_cache_;  ///< most-recently-used first
 
   /// One in-flight prefetched range (absolute-file segments + its bytes).
   struct PrefetchEntry {

@@ -31,10 +31,12 @@ Collector* collector() { return g_collector.load(std::memory_order_acquire); }
 
 void Collector::begin_span(sim::Proc& proc, const char* name,
                            TimeCategory cat) {
-  auto rank = static_cast<std::size_t>(proc.rank());
+  // Spans are keyed by *global* rank so multi-job runs don't interleave the
+  // jobs' rank-0 stacks (identical to rank() in single-job runs).
+  auto rank = static_cast<std::size_t>(proc.global_rank());
   if (stacks_.size() <= rank) stacks_.resize(rank + 1);
   SpanRecord rec;
-  rec.rank = proc.rank();
+  rec.rank = proc.global_rank();
   rec.depth = static_cast<int>(stacks_[rank].size());
   rec.name = name;
   rec.category = cat;
@@ -48,10 +50,10 @@ void Collector::begin_span(sim::Proc& proc, const char* name,
 }
 
 void Collector::end_span(sim::Proc& proc) {
-  auto rank = static_cast<std::size_t>(proc.rank());
+  auto rank = static_cast<std::size_t>(proc.global_rank());
   PARAMRIO_REQUIRE(rank < stacks_.size() && !stacks_[rank].empty(),
                    "obs: end_span with no open span on rank " +
-                       std::to_string(proc.rank()));
+                       std::to_string(proc.global_rank()));
   SpanRecord rec = std::move(stacks_[rank].back());
   stacks_[rank].pop_back();
   rec.t_end = proc.now();
@@ -64,7 +66,7 @@ void Collector::end_span(sim::Proc& proc) {
 
 void Collector::span_counter(sim::Proc& proc, const char* name,
                              std::uint64_t value) {
-  auto rank = static_cast<std::size_t>(proc.rank());
+  auto rank = static_cast<std::size_t>(proc.global_rank());
   if (rank >= stacks_.size() || stacks_[rank].empty()) return;
   auto& counters = stacks_[rank].back().counters;
   for (auto& [n, v] : counters) {
@@ -77,7 +79,8 @@ void Collector::span_counter(sim::Proc& proc, const char* name,
 }
 
 void Collector::sample(sim::Proc& proc, const char* name, double value) {
-  samples_.push_back(CounterSample{proc.rank(), proc.now(), name, value});
+  samples_.push_back(
+      CounterSample{proc.global_rank(), proc.now(), name, value});
 }
 
 bool Collector::balanced() const {

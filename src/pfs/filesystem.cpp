@@ -14,6 +14,7 @@ int FileSystem::open(const std::string& path, OpenMode mode) {
     // Truncation invalidates any cached pages of a previous file generation
     // at this path (same stale-cache hazard as remove()).
     cache_.erase(path);
+    ++cache_gen_;
   } else if (!store_.exists(path)) {
     throw IoError("open(" + path + "): no such file on " + name());
   }
@@ -22,7 +23,7 @@ int FileSystem::open(const std::string& path, OpenMode mode) {
   if (sim::in_simulation()) {
     sim::Proc& proc = sim::current_proc();
     if (observer_ != nullptr) {
-      observer_->on_open(proc.now(), proc.rank(), path, mode, fd);
+      observer_->on_open(proc.now(), proc.global_rank(), path, mode, fd);
     }
     double cost = metadata_cost();
     if (cost > 0.0) proc.advance(cost, sim::TimeCategory::kIo);
@@ -36,7 +37,7 @@ void FileSystem::close(int fd) {
   if (sim::in_simulation()) {
     sim::Proc& proc = sim::current_proc();
     if (observer_ != nullptr) {
-      observer_->on_close(proc.now(), proc.rank(), path, fd);
+      observer_->on_close(proc.now(), proc.global_rank(), path, fd);
     }
     double cost = metadata_cost();
     if (cost > 0.0) proc.advance(cost, sim::TimeCategory::kIo);
@@ -49,7 +50,7 @@ std::uint64_t FileSystem::size(int fd) const {
 
 std::uint64_t FileSystem::read_at(int fd, std::uint64_t offset,
                                   std::span<std::byte> out) {
-  const OpenFile& f = descriptor(fd, "read_at");
+  OpenFile& f = descriptor_mut(fd, "read_at");
   std::uint64_t file_size = store_.size(f.path);
   if (offset + out.size() > file_size) {
     throw IoError("read_at(" + f.path + ", fd " + std::to_string(fd) +
@@ -82,7 +83,7 @@ std::uint64_t FileSystem::read_at(int fd, std::uint64_t offset,
   }
 }
 
-std::uint64_t FileSystem::read_attempt(const OpenFile& f, int fd,
+std::uint64_t FileSystem::read_attempt(OpenFile& f, int fd,
                                        std::uint64_t offset,
                                        std::span<std::byte> out) {
   OBS_SPAN("pfs.read", sim::TimeCategory::kIo);
@@ -90,7 +91,7 @@ std::uint64_t FileSystem::read_attempt(const OpenFile& f, int fd,
   std::uint64_t transfer = out.size();
   if (fault_hook_ != nullptr) {
     const fault::IoFaultAction a =
-        fault_hook_->on_io(proc.rank(), proc.now(), /*is_write=*/false,
+        fault_hook_->on_io(proc.global_rank(), proc.now(), /*is_write=*/false,
                            f.path, offset, out.size(),
                            server_of(f.path, offset));
     switch (a.kind) {
@@ -114,12 +115,13 @@ std::uint64_t FileSystem::read_attempt(const OpenFile& f, int fd,
   store_.read_at(f.path, offset, out.first(transfer));
   proc.stats().io_bytes_read += transfer;
   proc.stats().io_requests += 1;
+  account_job(proc, /*is_write=*/false, transfer);
   if (observer_ != nullptr) {
-    observer_->on_io(proc.now(), proc.rank(), /*is_write=*/false, f.path,
-                     offset, transfer, fd);
+    observer_->on_io(proc.now(), proc.global_rank(), /*is_write=*/false,
+                     f.path, offset, transfer, fd);
   }
   if (cache_enabled_ && transfer > 0) {
-    Intervals& iv = cache_[f.path];
+    Intervals& iv = cache_of(f);
     if (cache_covers(iv, offset, transfer)) {
       cache_hits_ += transfer;
       proc.advance(static_cast<double>(transfer) / cache_bandwidth_,
@@ -134,7 +136,7 @@ std::uint64_t FileSystem::read_attempt(const OpenFile& f, int fd,
 
 std::uint64_t FileSystem::write_at(int fd, std::uint64_t offset,
                                    std::span<const std::byte> data) {
-  const OpenFile& f = descriptor(fd, "write_at");
+  OpenFile& f = descriptor_mut(fd, "write_at");
   if (!f.writable) throw IoError("write to read-only descriptor: " + f.path);
   if (!sim::in_simulation()) {  // untimed setup access
     store_.write_at(f.path, offset, data);
@@ -158,7 +160,7 @@ std::uint64_t FileSystem::write_at(int fd, std::uint64_t offset,
   }
 }
 
-std::uint64_t FileSystem::write_attempt(const OpenFile& f, int fd,
+std::uint64_t FileSystem::write_attempt(OpenFile& f, int fd,
                                         std::uint64_t offset,
                                         std::span<const std::byte> data) {
   OBS_SPAN("pfs.write", sim::TimeCategory::kIo);
@@ -166,7 +168,7 @@ std::uint64_t FileSystem::write_attempt(const OpenFile& f, int fd,
   std::uint64_t transfer = data.size();
   if (fault_hook_ != nullptr) {
     const fault::IoFaultAction a =
-        fault_hook_->on_io(proc.rank(), proc.now(), /*is_write=*/true,
+        fault_hook_->on_io(proc.global_rank(), proc.now(), /*is_write=*/true,
                            f.path, offset, data.size(),
                            server_of(f.path, offset));
     switch (a.kind) {
@@ -190,12 +192,13 @@ std::uint64_t FileSystem::write_attempt(const OpenFile& f, int fd,
   store_.write_at(f.path, offset, data.first(transfer));
   proc.stats().io_bytes_written += transfer;
   proc.stats().io_requests += 1;
+  account_job(proc, /*is_write=*/true, transfer);
   if (observer_ != nullptr) {
-    observer_->on_io(proc.now(), proc.rank(), /*is_write=*/true, f.path,
-                     offset, transfer, fd);
+    observer_->on_io(proc.now(), proc.global_rank(), /*is_write=*/true,
+                     f.path, offset, transfer, fd);
   }
   if (cache_enabled_ && transfer > 0) {
-    cache_insert(cache_[f.path], offset, transfer);
+    cache_insert(cache_of(f), offset, transfer);
   }
   charge(proc, f.path, offset, transfer, /*is_write=*/true);
   return transfer;
@@ -238,9 +241,33 @@ void FileSystem::cache_insert(Intervals& iv, std::uint64_t off,
   iv[lo] = hi;
 }
 
+void FileSystem::account_job(const sim::Proc& proc, bool is_write,
+                             std::uint64_t bytes) {
+  JobIo& io = job_io_[proc.job()];
+  if (io.requests == 0) io.name = proc.job_name();
+  if (is_write) {
+    io.bytes_written += bytes;
+  } else {
+    io.bytes_read += bytes;
+  }
+  io.requests += 1;
+}
+
 void FileSystem::export_counters(obs::MetricsRegistry& reg) const {
   reg.add("fs:" + name(), "cache_hit_bytes", cache_hits_);
   if (fs_retries_ > 0) reg.add("fs:" + name(), "retries", fs_retries_);
+  // Per-tenant traffic breakdown, only in genuinely multi-job runs so every
+  // single-job registry export stays byte-identical to previous releases.
+  if (job_io_.size() > 1) {
+    for (const auto& [job, io] : job_io_) {
+      const std::string label =
+          io.name.empty() ? "#" + std::to_string(job) : io.name;
+      const std::string scope = "fs:" + name() + "|job:" + label;
+      reg.add(scope, "bytes_read", io.bytes_read);
+      reg.add(scope, "bytes_written", io.bytes_written);
+      reg.add(scope, "requests", io.requests);
+    }
+  }
 }
 
 const FileSystem::OpenFile& FileSystem::descriptor(int fd,
@@ -251,6 +278,23 @@ const FileSystem::OpenFile& FileSystem::descriptor(int fd,
                   std::to_string(fd) + " on " + name());
   }
   return it->second;
+}
+
+FileSystem::OpenFile& FileSystem::descriptor_mut(int fd, const char* op) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) {
+    throw IoError(std::string(op) + ": bad file descriptor " +
+                  std::to_string(fd) + " on " + name());
+  }
+  return it->second;
+}
+
+FileSystem::Intervals& FileSystem::cache_of(OpenFile& f) {
+  if (f.cache_iv == nullptr || f.cache_gen != cache_gen_) {
+    f.cache_iv = &cache_[f.path];
+    f.cache_gen = cache_gen_;
+  }
+  return *f.cache_iv;
 }
 
 }  // namespace paramrio::pfs

@@ -86,6 +86,7 @@ class FileSystem {
   /// at the same path cannot see stale cache hits.
   void remove(const std::string& path) {
     cache_.erase(path);
+    ++cache_gen_;  // open descriptors re-resolve their interval-map pointer
     store_.remove(path);
   }
 
@@ -129,7 +130,10 @@ class FileSystem {
   std::uint64_t cache_hits() const { return cache_hits_; }
 
   /// Invalidate all cached pages (simulate a cold restart between phases).
-  virtual void drop_caches() { cache_.clear(); }
+  virtual void drop_caches() {
+    cache_.clear();
+    ++cache_gen_;
+  }
 
   /// Attach (or detach with nullptr) an I/O observer; every subsequent data
   /// request inside the simulation is reported to it.
@@ -182,26 +186,48 @@ class FileSystem {
                       bool is_write) = 0;
 
  private:
+  /// Merged resident intervals per file (offset -> end).
+  using Intervals = std::map<std::uint64_t, std::uint64_t>;
+
   struct OpenFile {
     std::string path;
     bool writable = false;
+    /// Buffer-cache interval map resolved once per descriptor instead of a
+    /// string-keyed map lookup on every attempt (the per-op hot path at
+    /// AMR256 scale).  Re-resolved lazily whenever `cache_gen` falls behind
+    /// the file system's generation counter — remove(), kCreate truncation
+    /// and drop_caches() all bump it, which also covers the pointer's
+    /// stability (std::map nodes only move on erase).
+    Intervals* cache_iv = nullptr;
+    std::uint64_t cache_gen = 0;
   };
   const OpenFile& descriptor(int fd, const char* op) const;
+  OpenFile& descriptor_mut(int fd, const char* op);
+  Intervals& cache_of(OpenFile& f);
 
   /// One timed attempt at (part of) a data operation: consults the fault
   /// hook, moves up to the requested bytes, and accounts exactly the bytes
   /// moved.  Returns the transfer length; throws TransientIoError /
   /// CrashError when the hook says so.
-  std::uint64_t read_attempt(const OpenFile& f, int fd, std::uint64_t offset,
+  std::uint64_t read_attempt(OpenFile& f, int fd, std::uint64_t offset,
                              std::span<std::byte> out);
-  std::uint64_t write_attempt(const OpenFile& f, int fd, std::uint64_t offset,
+  std::uint64_t write_attempt(OpenFile& f, int fd, std::uint64_t offset,
                               std::span<const std::byte> data);
 
-  /// Merged resident intervals per file (offset -> end).
-  using Intervals = std::map<std::uint64_t, std::uint64_t>;
   bool cache_covers(const Intervals& iv, std::uint64_t off,
                     std::uint64_t len) const;
   void cache_insert(Intervals& iv, std::uint64_t off, std::uint64_t len);
+
+  /// Per-tenant traffic, keyed by engine job index; recorded only to feed
+  /// multi-job exports (single-job registries must stay byte-identical, so
+  /// export_counters only emits these scopes when >1 job was seen).
+  struct JobIo {
+    std::string name;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t requests = 0;
+  };
+  void account_job(const sim::Proc& proc, bool is_write, std::uint64_t bytes);
 
   stor::ObjectStore store_;
   std::map<int, OpenFile> open_files_;
@@ -214,6 +240,8 @@ class FileSystem {
   double cache_bandwidth_ = 0.0;
   std::uint64_t cache_hits_ = 0;
   std::map<std::string, Intervals> cache_;
+  std::uint64_t cache_gen_ = 1;  ///< bumped on remove/truncate/drop_caches
+  std::map<int, JobIo> job_io_;
 };
 
 }  // namespace paramrio::pfs

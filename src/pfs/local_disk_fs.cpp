@@ -13,11 +13,15 @@ LocalDiskFs::LocalDiskFs(LocalDiskFsParams params, int nprocs)
 void LocalDiskFs::charge(sim::Proc& proc, const std::string& path,
                          std::uint64_t offset, std::uint64_t bytes,
                          bool is_write) {
+  // Disks, page caches and ownership are per *global* rank: under multi-job
+  // tenancy each simulated node (and its spindle) belongs to exactly one
+  // rank of one job; job-local rank ids would alias the rank 0s together.
+  const int client = proc.global_rank();
   Ownership& own = owners_[path];
-  auto& my_cache = page_cache_[static_cast<std::size_t>(proc.rank())][path];
+  auto& my_cache = page_cache_[static_cast<std::size_t>(client)][path];
   if (is_write) {
-    record_write(own, offset, bytes, proc.rank());
-  } else if (!wholly_owned_by(own, offset, bytes, proc.rank())) {
+    record_write(own, offset, bytes, client);
+  } else if (!wholly_owned_by(own, offset, bytes, client)) {
     remote_reads_ += 1;
   } else if (covered(my_cache, offset, bytes)) {
     // This node already has the pages: served from its own page cache.
@@ -27,7 +31,7 @@ void LocalDiskFs::charge(sim::Proc& proc, const std::string& path,
   }
   insert_range(my_cache, offset, bytes);
   proc.advance(params_.client_overhead, sim::TimeCategory::kIo);
-  auto& d = disks_[static_cast<std::size_t>(proc.rank())];
+  auto& d = disks_[static_cast<std::size_t>(client)];
   double done = d.serve(proc.now(), path, offset, bytes, is_write);
   proc.clock_at_least(done, sim::TimeCategory::kIo);
 }
@@ -100,7 +104,25 @@ void LocalDiskFs::record_write(Ownership& own, std::uint64_t offset,
     }
     it = own.ranges.erase(it);
   }
-  own.ranges[offset] = {end, rank};
+  // Insert, coalescing with same-owner neighbours: without this a
+  // sequential writer leaves one node per request and wholly_owned_by
+  // degrades to a per-fragment walk — the other quadratic the ROADMAP
+  // raw-speed note flags.
+  auto ins = own.ranges.insert_or_assign(offset, std::make_pair(end, rank))
+                 .first;
+  auto next = std::next(ins);
+  if (next != own.ranges.end() && next->first == ins->second.first &&
+      next->second.second == rank) {
+    ins->second.first = next->second.first;
+    own.ranges.erase(next);
+  }
+  if (ins != own.ranges.begin()) {
+    auto prev = std::prev(ins);
+    if (prev->second.first == ins->first && prev->second.second == rank) {
+      prev->second.first = ins->second.first;
+      own.ranges.erase(ins);
+    }
+  }
 }
 
 }  // namespace paramrio::pfs

@@ -30,13 +30,92 @@ void StripedFs::export_counters(obs::MetricsRegistry& reg) const {
   const std::string scope = "fs:" + name();
   reg.add(scope, "server_requests", total_server_requests());
   reg.add(scope, "write_token_transfers", token_transfers_);
+  // Per-tenant device shares aggregated over all I/O nodes; emitted only for
+  // genuinely multi-job runs so single-job exports stay byte-identical.
+  std::map<int, std::uint64_t> job_requests;
+  std::map<int, std::uint64_t> job_bytes;
+  for (const auto& s : servers_) {
+    for (const auto& [job, share] : s.job_shares()) {
+      job_requests[job] += share.requests;
+      job_bytes[job] += share.bytes;
+    }
+  }
+  if (job_requests.size() > 1) {
+    for (const auto& [job, reqs] : job_requests) {
+      const std::string jscope = scope + "|job:#" + std::to_string(job);
+      reg.add(jscope, "server_requests", reqs);
+      reg.add(jscope, "server_bytes", job_bytes[job]);
+    }
+  }
+}
+
+bool StripedFs::runs_conflict(const TokenRuns& runs, std::uint64_t lo,
+                              std::uint64_t hi, int owner) {
+  auto it = runs.upper_bound(lo);
+  if (it != runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.first > lo && prev->second.second != owner) return true;
+  }
+  for (; it != runs.end() && it->first < hi; ++it) {
+    if (it->second.second != owner) return true;
+  }
+  return false;
+}
+
+void StripedFs::runs_assign(TokenRuns& runs, std::uint64_t lo,
+                            std::uint64_t hi, int owner) {
+  if (lo >= hi) return;
+  // Split any run overlapping the left edge.
+  auto it = runs.upper_bound(lo);
+  if (it != runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.first > lo) {
+      const std::uint64_t prev_end = prev->second.first;
+      const int prev_owner = prev->second.second;
+      if (prev->first < lo) {
+        prev->second.first = lo;
+      } else {
+        runs.erase(prev);
+      }
+      if (prev_end > hi) runs[hi] = {prev_end, prev_owner};
+    }
+  }
+  // Drop runs starting inside [lo, hi), keeping any tail past hi.
+  it = runs.lower_bound(lo);
+  while (it != runs.end() && it->first < hi) {
+    if (it->second.first > hi) {
+      const auto tail = it->second;
+      it = runs.erase(it);
+      runs[hi] = tail;
+      break;
+    }
+    it = runs.erase(it);
+  }
+  // Insert the new run, coalescing with same-owner neighbours.
+  std::uint64_t nlo = lo, nhi = hi;
+  auto right = runs.find(hi);
+  if (right != runs.end() && right->second.second == owner) {
+    nhi = right->second.first;
+    runs.erase(right);
+  }
+  auto ins = runs.emplace(nlo, std::make_pair(nhi, owner)).first;
+  if (ins != runs.begin()) {
+    auto left = std::prev(ins);
+    if (left->second.first == nlo && left->second.second == owner) {
+      left->second.first = nhi;
+      runs.erase(ins);
+    }
+  }
 }
 
 void StripedFs::charge(sim::Proc& proc, const std::string& path,
                        std::uint64_t offset, std::uint64_t bytes,
                        bool is_write) {
   proc.advance(params_.client_overhead, sim::TimeCategory::kIo);
-  const int client_node = network_.node_of(proc.rank());
+  // Clients are identified by global rank: a shared fs serving several jobs
+  // must not alias job-local rank 0s onto one node or one token owner.
+  const int client = proc.global_rank();
+  const int client_node = network_.node_of(client);
   const int io_base = network_.compute_nodes();
 
   // Byte-range write tokens at stripe granularity (GPFS rounds byte-range
@@ -48,23 +127,15 @@ void StripedFs::charge(sim::Proc& proc, const std::string& path,
   // the false sharing behind the paper's Figure 7.
   double req_start = proc.now();
   if (is_write && params_.write_lock_cost > 0.0 && bytes > 0) {
-    auto& owners = token_owner_[path];
+    TokenRuns& owners = token_owner_[path];
     const std::uint64_t ss = params_.stripe_size;
     const std::uint64_t s_lo = offset / ss;
     const std::uint64_t s_hi = (offset + bytes + ss - 1) / ss;
-    bool conflict = false;
-    for (std::uint64_t s = s_lo; s < s_hi; ++s) {
-      auto it = owners.find(s);
-      if (it != owners.end() && it->second != proc.rank()) {
-        conflict = true;
-        break;
-      }
-    }
-    if (conflict) {
+    if (runs_conflict(owners, s_lo, s_hi, client)) {
       req_start = token_manager_.acquire(req_start, params_.write_lock_cost);
       ++token_transfers_;
     }
-    for (std::uint64_t s = s_lo; s < s_hi; ++s) owners[s] = proc.rank();
+    runs_assign(owners, s_lo, s_hi, client);
   }
 
   double done = req_start;
@@ -81,8 +152,9 @@ void StripedFs::charge(sim::Proc& proc, const std::string& path,
         t = network_.wire_transfer(t, client_node, io_base + c.server,
                                    c.length);
         auto& srv = servers_[static_cast<std::size_t>(c.server)];
-        done = std::max(done, srv.serve(t, path, c.server_offset, c.length,
-                                        is_write, 0.0));
+        done = std::max(done,
+                        srv.serve(t, path, c.server_offset, c.length, is_write,
+                                  0.0, proc.job(), proc.job_weight()));
       },
       object_first_server(path, params_.n_io_nodes));
   proc.clock_at_least(done, sim::TimeCategory::kIo);

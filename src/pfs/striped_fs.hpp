@@ -92,13 +92,24 @@ class StripedFs final : public FileSystem {
               std::uint64_t bytes, bool is_write) override;
 
  private:
+  /// Merged same-owner runs of stripe indices: start stripe -> (end stripe
+  /// exclusive, owner).  The per-stripe map this replaces cost O(stripes
+  /// touched) per write and grew one node per stripe ever written — the
+  /// quadratic wall at AMR256 scale; runs make a streaming writer O(log n)
+  /// per request with one node per contiguous region.
+  using TokenRuns = std::map<std::uint64_t, std::pair<std::uint64_t, int>>;
+  static bool runs_conflict(const TokenRuns& runs, std::uint64_t lo,
+                            std::uint64_t hi, int owner);
+  static void runs_assign(TokenRuns& runs, std::uint64_t lo, std::uint64_t hi,
+                          int owner);
+
   StripedFsParams params_;
   net::Network& network_;
   std::vector<stor::IoServer> servers_;
   std::vector<sim::Timeline> smp_channels_;  ///< one per compute node
   /// Write-token ownership at stripe granularity (GPFS hands out byte-range
-  /// tokens rounded to block boundaries): path -> stripe index -> owner rank.
-  std::map<std::string, std::map<std::uint64_t, int>> token_owner_;
+  /// tokens rounded to block boundaries): path -> merged owner runs.
+  std::map<std::string, TokenRuns> token_owner_;
   std::uint64_t token_transfers_ = 0;
   sim::Timeline token_manager_;  ///< serialises all token transfers
 };

@@ -97,7 +97,8 @@ Machine chiba_local_disk() {
 }
 
 Testbed::Testbed(const Machine& machine, int nprocs,
-                 std::uint64_t perturb_seed) : machine_(machine),
+                 std::uint64_t perturb_seed, sim::SchedBackend backend)
+    : machine_(machine),
       runtime_([&] {
         mpi::RuntimeParams p;
         p.net = machine.net;
@@ -105,6 +106,7 @@ Testbed::Testbed(const Machine& machine, int nprocs,
         p.nprocs = nprocs;
         p.extra_fabric_nodes = machine.extra_fabric_nodes();
         p.perturb_seed = perturb_seed;
+        p.backend = backend;
         return p;
       }()) {
   switch (machine_.fs_kind) {

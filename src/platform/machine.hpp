@@ -51,8 +51,10 @@ class Testbed {
  public:
   /// `perturb_seed` feeds sim::Engine::Options::perturb_seed (scheduler
   /// tie-shuffle for race detection; 0 = classic lowest-rank order).
-  Testbed(const Machine& machine, int nprocs,
-          std::uint64_t perturb_seed = 0);
+  /// `backend` picks the engine's scheduler backend (fibers vs threads);
+  /// kAuto follows sim::Engine::Options::effective_backend().
+  Testbed(const Machine& machine, int nprocs, std::uint64_t perturb_seed = 0,
+          sim::SchedBackend backend = sim::SchedBackend::kAuto);
 
   mpi::Runtime& runtime() { return runtime_; }
   pfs::FileSystem& fs() { return *fs_; }

@@ -1,21 +1,43 @@
 // Conservative virtual-time discrete-event engine.
 //
 // The reproduction executes the real parallel code paths (message passing,
-// two-phase I/O, file-format encoding) on a simulated parallel machine.  Each
-// simulated processor ("proc") is an OS thread with a *virtual* clock; the
-// engine enforces that at any instant exactly one proc executes user code —
-// always the runnable proc with the smallest (clock, rank) pair.  This gives:
+// two-phase I/O, file-format encoding) on a simulated parallel machine.  The
+// engine enforces that at any instant exactly one simulated processor
+// ("proc") executes user code — always the runnable proc with the smallest
+// (clock, index) pair.  This gives:
 //
 //   * determinism: runs are bit-reproducible regardless of OS scheduling,
 //   * causal ordering: shared virtual-time resources (disks, NICs) observe
 //     requests in global virtual-time order, so contention modelling with
 //     simple next-free timelines is exact,
-//   * zero data races: all user code is serialised by the baton, so the
+//   * zero data races: all user code is serialised by the scheduler, so the
 //     layered libraries need no locking of their own.
 //
-// Procs advance their clocks with Proc::advance(); blocking primitives
-// (Proc::block / Engine::signal) underpin message receive.  If every
-// unfinished proc is blocked the engine throws DeadlockError.
+// Two scheduler backends implement that contract:
+//
+//   * kFibers (default): every proc is a lightweight run-to-yield
+//     continuation (ucontext fiber) on one OS thread.  A yield is a
+//     user-space context switch, current_proc() is a scheduler-maintained
+//     pointer rather than OS-thread identity, and abort unwinds procs one by
+//     one on the single scheduler thread — no joins, no unwind token.  One
+//     process comfortably simulates tens of thousands of ranks in bounded
+//     memory (stacks are lazily-committed mmaps).
+//   * kThreads: the original one-OS-thread-per-rank implementation with a
+//     baton of condition variables.  Kept for differential testing of the
+//     scheduler itself and for ThreadSanitizer, which wants real cross-
+//     thread hand-offs to verify (see docs/SCALING.md).
+//
+// Both backends produce byte-identical runs (same serialisation order, same
+// perturbation RNG draws).  Procs advance their clocks with Proc::advance();
+// blocking primitives (Proc::block / Engine::signal) underpin message
+// receive.  If every unfinished proc is blocked the engine throws
+// DeadlockError.
+//
+// Multi-job tenancy: run_jobs() schedules several independent jobs — each
+// with its own rank set, clock offset and fair-share weight — inside one
+// engine, so N simulated applications can contend for one pfs::FileSystem.
+// Proc::rank() stays job-local (the mpi layer is unchanged); shared
+// resources identify clients by Proc::global_rank().
 #pragma once
 
 #include <cstdint>
@@ -24,8 +46,10 @@
 #include <functional>
 #include <mutex>
 #include <condition_variable>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/error.hpp"
@@ -69,6 +93,12 @@ class Timeline {
     return next_free_;
   }
 
+  /// Raise next_free to at least `t` (fair-share arbiters track per-job
+  /// horizons themselves but keep the aggregate timeline truthful).
+  void raise(double t) {
+    if (t > next_free_) next_free_ = t;
+  }
+
   double next_free() const { return next_free_; }
   void reset() { next_free_ = 0.0; }
 
@@ -79,11 +109,26 @@ class Timeline {
 class Engine;
 
 /// Handle a simulated processor's code uses to interact with virtual time.
-/// One per rank; obtain the calling thread's via sim::current_proc().
+/// One per rank; obtain the calling proc's via sim::current_proc().
 class Proc {
  public:
+  /// Rank within this proc's job (what the mpi layer sees).
   int rank() const { return rank_; }
+  /// Ranks in this proc's job.
   int nprocs() const;
+  /// Dense index across every job of the run; equals rank() in a single-job
+  /// run.  Shared resources (file systems, storage fabrics) identify their
+  /// clients by this.
+  int global_rank() const { return global_; }
+  /// Job index within the run (0 in a single-job run).
+  int job() const { return job_; }
+  /// This job's fair-share weight at shared I/O servers.
+  double job_weight() const { return job_weight_; }
+  /// This job's virtual start time (clock domain offset; now() is absolute).
+  double job_start() const { return job_start_; }
+  /// This job's label for metrics scopes ("" in a single-job run).
+  const std::string& job_name() const;
+
   double now() const { return deferred_ ? shadow_clock_ : clock_; }
 
   /// Spend `dt` seconds of virtual time, attributed to `cat`.
@@ -98,7 +143,7 @@ class Proc {
   void use_resource(Timeline& tl, double service, TimeCategory cat);
 
   /// Mark this proc blocked and yield; returns after some other proc calls
-  /// Engine::signal(rank()).  The caller must re-check its wake condition.
+  /// Engine::signal on it.  The caller must re-check its wake condition.
   /// Not allowed while deferred (an in-flight op cannot message).
   void block();
 
@@ -107,11 +152,11 @@ class Proc {
   // Between begin_deferred() and end_deferred() the proc models work handed
   // to an asynchronous agent (a DMA engine, an I/O servicing thread): code
   // runs and moves bytes immediately — content stays deterministic because
-  // the baton still serialises execution — but time costs accrue on a
+  // the scheduler still serialises execution — but time costs accrue on a
   // *shadow* clock instead of the real one.  Timelines are still acquired
   // (at shadow times >= the real clock, preserving their FIFO invariant,
   // since this proc held the minimum clock when it was scheduled), no
-  // ProcStats time is accounted, and the baton is never yielded.
+  // ProcStats time is accounted, and execution is never yielded.
   // end_deferred() returns the operation's virtual completion time; the
   // issuer later settles it with clock_at_least(completion, cat), which
   // charges exactly the stall that was not hidden behind other work.
@@ -138,10 +183,14 @@ class Proc {
  private:
   friend class Engine;
   Proc(Engine* e, int rank, std::uint64_t seed)
-      : engine_(e), rank_(rank), rng_(seed) {}
+      : engine_(e), rank_(rank), global_(rank), rng_(seed) {}
 
   Engine* engine_;
   int rank_;
+  int global_;
+  int job_ = 0;
+  double job_weight_ = 1.0;
+  double job_start_ = 0.0;
   double clock_ = 0.0;
   double shadow_clock_ = 0.0;  ///< in-flight time while deferred_
   bool deferred_ = false;
@@ -152,14 +201,15 @@ class Proc {
 /// Passive observer of engine-level events, for the verify layer (the
 /// engine itself stays dependency-free).  Install with set_run_observer()
 /// outside a run; all callbacks arrive serialised (either from the proc
-/// holding the baton or under the engine lock at abort time).
+/// holding the schedule or under the engine lock at abort time).
 class RunObserver {
  public:
   virtual ~RunObserver() = default;
 
-  /// A proc's body returned cleanly.  `deferred` is true when the proc
-  /// finished inside an unsettled begin_deferred() region — its clock no
-  /// longer reflects the in-flight work it issued.
+  /// A proc's body returned cleanly.  `rank` is the proc's global rank
+  /// (equal to its job rank in a single-job run).  `deferred` is true when
+  /// the proc finished inside an unsettled begin_deferred() region — its
+  /// clock no longer reflects the in-flight work it issued.
   virtual void on_proc_finished(int rank, bool deferred, double clock) = 0;
 
   /// The engine found no runnable proc with unfinished procs remaining.
@@ -173,6 +223,14 @@ class RunObserver {
 void set_run_observer(RunObserver* obs);
 RunObserver* run_observer();
 
+/// Scheduler implementation behind Engine::run (see the header comment).
+enum class SchedBackend : std::uint8_t {
+  kAuto,     ///< fibers, unless built under TSan or PARAMRIO_SIM_ENGINE says
+             ///< otherwise
+  kFibers,   ///< run-to-yield continuations on one OS thread (default)
+  kThreads,  ///< one OS thread per rank (differential testing, TSan)
+};
+
 /// The engine itself.  Construct, then call run() with the per-rank body.
 class Engine {
  public:
@@ -181,7 +239,7 @@ class Engine {
     std::uint64_t seed = 0x5eed5eed5eedULL;  ///< root of all per-rank RNGs
 
     /// Schedule perturbation: when nonzero, scheduling ties — runnable procs
-    /// whose virtual clocks are exactly equal at a baton pass — are broken
+    /// whose virtual clocks are exactly equal at a dispatch — are broken
     /// by a deterministic seeded shuffle instead of by lowest rank.  Every
     /// perturbed schedule is a legal serialisation of the same virtual-time
     /// order, so a correct program produces byte-identical results under
@@ -196,10 +254,42 @@ class Engine {
     /// classic lowest-rank tie order pin it with this.
     bool env_perturb = true;
 
+    /// Scheduler backend.  kAuto resolves to kFibers, overridable with the
+    /// PARAMRIO_SIM_ENGINE environment variable ("fibers" | "threads").
+    /// Builds under ThreadSanitizer always resolve to kThreads — TSan does
+    /// not understand swapcontext stack switches, has nothing to verify on
+    /// a single-threaded scheduler, and the thread backend is the one with
+    /// real cross-thread hand-offs for it to check (docs/SCALING.md).
+    SchedBackend backend = SchedBackend::kAuto;
+
+    /// Per-fiber stack size in bytes (fiber backend only).  0 picks the
+    /// default — 512 KiB, or 2 MiB under Address/MemorySanitizer (redzones
+    /// inflate frames) — overridable with PARAMRIO_FIBER_STACK_KB.  Stacks
+    /// are lazily-committed guard-paged mmaps, so virtual size is cheap and
+    /// resident memory tracks actual use.
+    std::size_t fiber_stack_bytes = 0;
+
     /// The seed the engine will actually use: `perturb_seed` when nonzero,
     /// else the PARAMRIO_SCHED_SEED environment variable (0 on absence, a
     /// malformed value, or `env_perturb` false).
     std::uint64_t effective_perturb_seed() const;
+
+    /// The backend the engine will actually use (resolves kAuto).
+    SchedBackend effective_backend() const;
+
+    /// The fiber stack size the engine will actually use.
+    std::size_t effective_fiber_stack_bytes() const;
+  };
+
+  /// One application of a multi-tenant run: `nprocs` ranks executing `body`,
+  /// entering the shared virtual timeline at `start_time` with fair-share
+  /// `weight` at shared I/O servers.
+  struct JobSpec {
+    std::string name;  ///< label for metrics scopes; "" = anonymous
+    int nprocs = 1;
+    std::function<void(Proc&)> body;
+    double start_time = 0.0;
+    double weight = 1.0;
   };
 
   struct Result {
@@ -208,57 +298,134 @@ class Engine {
     double makespan = 0.0;             ///< max finish time
   };
 
+  /// Per-job slice of a multi-tenant run's results.  Clocks are absolute
+  /// (shared timeline); subtract `start_time` for job-local elapsed time.
+  struct JobResult {
+    std::string name;
+    double start_time = 0.0;
+    Result result;
+  };
+
   /// Run `body(proc)` on options.nprocs virtual processors and return the
   /// per-rank clocks and stats.  Rethrows the first exception a rank threw.
   static Result run(const Options& options,
                     const std::function<void(Proc&)>& body);
 
-  /// Make a blocked proc runnable again (idempotent if already runnable).
-  /// Must be called from a proc thread inside the same run.
-  void signal(int rank);
+  /// Run several jobs concurrently on one shared virtual timeline (see the
+  /// header comment).  options.nprocs is ignored; each job supplies its own.
+  /// Any rank's exception aborts the whole run and is rethrown.
+  static std::vector<JobResult> run_jobs(const Options& options,
+                                         std::vector<JobSpec> jobs);
 
-  int nprocs() const { return static_cast<int>(procs_.size()); }
+  /// Make a blocked proc runnable again (idempotent if already runnable).
+  /// `global_rank` addresses across jobs; must be called from a proc of the
+  /// same run.
+  void signal(int global_rank);
+  /// Job-addressed form: wake `rank` of `job`.
+  void signal(int job, int rank);
+
+  /// Total procs across all jobs.
+  int total_procs() const { return static_cast<int>(procs_.size()); }
+  /// Ranks in job `job`.
+  int job_nprocs(int job) const;
+  /// Number of jobs in this run (1 for Engine::run).
+  int njobs() const { return static_cast<int>(jobs_.size()); }
+  /// Label of job `job` ("" when anonymous).
+  const std::string& job_name(int job) const;
 
  private:
   Engine() = default;
 
   enum class State : std::uint8_t { kRunnable, kBlocked, kFinished };
 
-  // Thrown internally to unwind proc threads when the run is aborted.
+  // Thrown internally to unwind proc bodies when the run is aborted.
   struct Aborted {};
 
-  void thread_main(int rank, const std::function<void(Proc&)>& body);
-  void yield_from(int rank);
+  struct Fiber;  // ucontext continuation state (engine.cpp)
+
+  struct JobInfo {
+    std::string name;
+    int first = 0;  ///< global index of rank 0
+    int nprocs = 0;
+  };
+
+  std::vector<JobResult> execute(const Options& options,
+                                 std::vector<JobSpec> jobs);
+  const std::function<void(Proc&)>& body_of(int global) const;
+
+  // ---- thread backend ---------------------------------------------------
+  void run_threads();
+  void thread_main(int global);
+  void yield_threads(int global, bool unwinding);
   void pass_baton_locked();
-  int pick_next_locked();
-  void abort_locked(std::exception_ptr e);
   /// Post-abort unwind serialisation: at most one proc thread at a time may
   /// run destructors after the run is aborted (they touch shared layers —
-  /// file systems, the obs collector — that rely on the baton for mutual
-  /// exclusion, and the baton is gone once the run aborts).
-  void acquire_unwind_locked(std::unique_lock<std::mutex>& l, int rank);
-  void release_unwind(int rank);
+  /// file systems, the obs collector — that rely on the serial schedule for
+  /// mutual exclusion, and that schedule is gone once the run aborts).
+  void acquire_unwind_locked(std::unique_lock<std::mutex>& l, int global);
+  void release_unwind(int global);
+
+  // ---- fiber backend ----------------------------------------------------
+  void run_fibers();
+  void fiber_main(int global);
+  void yield_fibers(int global, bool unwinding);
+  /// Dispatch fiber `next` from the context of `from` (-1: the scheduler).
+  /// `from_dying` marks `from` as permanently done (its stack may be freed
+  /// once control leaves it).
+  void switch_to(int from, int next, bool from_dying);
+  /// makecontext entry point; the Engine* travels as two ints.
+  static void fiber_trampoline(unsigned hi, unsigned lo, int global);
+
+  // ---- shared scheduler core -------------------------------------------
+  void yield_from(int global);
+  int pick_next_locked();
+  /// pick_next_locked, plus deadlock handling: when nothing is runnable but
+  /// unfinished procs remain, aborts the run with a diagnosed DeadlockError
+  /// and returns -1; returns -1 with no error when everything finished.
+  int pick_or_deadlock_locked();
+  /// pick_or_deadlock_locked, plus claiming: the picked proc is removed from
+  /// the ready queue (it is about to run, and a running proc's clock moves).
+  int pick_claim_locked();
+  void ready_insert_locked(int global);
+  void abort_locked(std::exception_ptr e);
+  void observe_finish(int global);
 
   std::mutex mu_;
   std::vector<std::unique_ptr<std::condition_variable>> cvs_;  // per proc
   std::vector<Proc> procs_;
   std::vector<State> states_;
+  /// Suspended runnable procs ordered by (clock, global index) — the pick
+  /// order.  Sound because a suspended proc's clock is frozen: clocks only
+  /// advance from the proc's own execution, so entries never go stale.  The
+  /// running proc is *not* in the queue (its clock moves); it re-inserts
+  /// itself when it yields.  Replaces an O(nprocs) scan per context switch
+  /// that dominated host time beyond ~1k ranks (see docs/SCALING.md).
+  std::set<std::pair<double, int>> ready_;
+  std::vector<JobInfo> jobs_;
+  std::vector<const std::function<void(Proc&)>*> bodies_;  ///< per job
+  SchedBackend backend_ = SchedBackend::kFibers;
+  std::size_t fiber_stack_bytes_ = 0;
   int current_ = 0;
   bool aborted_ = false;
   std::exception_ptr first_error_;
-  int unwinder_ = -1;  ///< rank holding the post-abort unwind token
+  int unwinder_ = -1;  ///< rank holding the post-abort unwind token (threads)
   std::condition_variable unwind_cv_;
   bool perturb_ = false;
   Rng perturb_rng_{0};  ///< tie-shuffle stream (perturb_ only)
 
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::unique_ptr<Fiber> sched_fiber_;  ///< the scheduler's own context
+
   friend class Proc;
 };
 
-/// The Proc of the calling simulated-processor thread.  Throws LogicError if
-/// the caller is not inside Engine::run.
+/// The Proc currently executing simulated code.  With the fiber backend this
+/// is a scheduler-maintained pointer (no OS-thread identity involved); with
+/// the thread backend it is the calling thread's proc.  Throws LogicError if
+/// no simulated proc is executing.
 Proc& current_proc();
 
-/// True when the calling thread is a simulated processor.
+/// True when called from simulated-processor code.
 bool in_simulation();
 
 }  // namespace paramrio::sim

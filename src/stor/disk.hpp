@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "base/units.hpp"
@@ -35,15 +36,33 @@ class IoServer {
  public:
   explicit IoServer(DiskParams params) : params_(params) {}
 
+  /// Per-tenant device-share accounting under fair-share arbitration.
+  struct JobShare {
+    double busy = 0.0;          ///< this job's service horizon (virtual time)
+    double weight = 1.0;        ///< fair-share weight last seen for the job
+    double service_time = 0.0;  ///< raw (unstretched) service consumed
+    std::uint64_t bytes = 0;
+    std::uint64_t requests = 0;
+  };
+
   /// Cost of a request of `bytes` at (`object`,`offset`) issued at `start`;
   /// returns completion time and updates the queue and head position.
   /// Writes are buffered (write-behind): a non-sequential write pays at most
   /// the near-seek cost, because the server coalesces and destages lazily.
   /// `extra_service` lets the file system add protocol costs (e.g. GPFS
   /// token/lock transfers) into the same FIFO.
+  ///
+  /// Multi-tenant arbitration: when `job` >= 0 the request is arbitrated by
+  /// weighted fair queueing across jobs instead of global FIFO — each job
+  /// keeps its own service horizon, and a request issued while other jobs
+  /// are backlogged is stretched by (sum of active weights)/`weight`, so N
+  /// equal-weight tenants each see ~1/N of the device.  With one active job
+  /// the stretch factor is exactly 1.0 and the result is bit-identical to
+  /// the FIFO timeline, so single-job runs are unaffected.  `job` < 0 keeps
+  /// the plain FIFO path.
   double serve(double start, const std::string& object, std::uint64_t offset,
                std::uint64_t bytes, bool is_write = false,
-               double extra_service = 0.0) {
+               double extra_service = 0.0, int job = -1, double weight = 1.0) {
     double service = params_.request_overhead + extra_service +
                      static_cast<double>(bytes) / params_.bandwidth;
     if (object == last_object_ && offset == last_end_) {
@@ -60,7 +79,23 @@ class IoServer {
     last_end_ = offset + bytes;
     requests_ += 1;
     bytes_moved_ += bytes;
-    return busy_.acquire(start, service);
+    if (job < 0) return busy_.acquire(start, service);
+
+    JobShare& mine = shares_[job];
+    mine.weight = weight;
+    mine.service_time += service;
+    mine.bytes += bytes;
+    mine.requests += 1;
+    double active_weight = 0.0;
+    for (const auto& [j, share] : shares_) {
+      if (j != job && share.busy > start) active_weight += share.weight;
+    }
+    const double stretch = (active_weight + weight) / weight;
+    const double completion =
+        std::max(start, mine.busy) + service * stretch;
+    mine.busy = completion;
+    busy_.raise(completion);  // keep the aggregate envelope truthful
+    return completion;
   }
 
   double next_free() const { return busy_.next_free(); }
@@ -68,12 +103,17 @@ class IoServer {
   std::uint64_t bytes_moved() const { return bytes_moved_; }
   const DiskParams& params() const { return params_; }
 
+  /// Per-job device shares seen so far (empty unless fair-share requests
+  /// were served); key is the engine job index.
+  const std::map<int, JobShare>& job_shares() const { return shares_; }
+
   void reset() {
     busy_.reset();
     last_object_.clear();
     last_end_ = 0;
     requests_ = 0;
     bytes_moved_ = 0;
+    shares_.clear();
   }
 
  private:
@@ -83,6 +123,7 @@ class IoServer {
   std::uint64_t last_end_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t bytes_moved_ = 0;
+  std::map<int, JobShare> shares_;
 };
 
 }  // namespace paramrio::stor

@@ -93,6 +93,58 @@ TEST(MpiIoFile, StridedViewIndependentWriteAndReadBack) {
   });
 }
 
+TEST(MpiIoFile, FlattenCacheSurvivesInterleavedViews) {
+  // Regression: the view-flatten memo used to hold a single entry, so a rank
+  // alternating between two installed views (ENZO's field/boundary pattern)
+  // evicted it on every call and re-flattened — zero hits.  The keyed LRU
+  // keeps both flattenings live across the alternation.
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Runtime rt(rparams(1));
+  rt.run([&](Comm& c) {
+    File f(c, fs, "data", pfs::OpenMode::kCreate);
+    f.write_at(0, iota_bytes(4096));
+    std::vector<std::byte> buf(32);
+    const int rounds = 8;
+    for (int i = 0; i < rounds; ++i) {
+      f.set_view(0, Datatype::indexed({{0, 16}, {32, 16}}));
+      f.read_at(0, buf);
+      f.set_view(0, Datatype::indexed({{16, 16}, {48, 16}}));
+      f.read_at(0, buf);
+    }
+    // Only the first flattening of each view misses.
+    EXPECT_EQ(f.stats().view_flatten_cache_hits,
+              static_cast<std::uint64_t>(2 * rounds - 2));
+    f.close();
+  });
+}
+
+TEST(MpiIoFile, FlattenCacheEvictsBeyondCapacityAndStaysCorrect) {
+  // Cycle more distinct views than the LRU holds: every access misses (the
+  // working set exceeds capacity), but reads stay byte-correct.
+  pfs::LocalFs fs(pfs::LocalFsParams{});
+  Runtime rt(rparams(1));
+  rt.run([&](Comm& c) {
+    File f(c, fs, "data", pfs::OpenMode::kCreate);
+    auto data = iota_bytes(4096, 3);
+    f.write_at(0, data);
+    const int nviews = 12;  // > kFlattenCacheCapacity
+    for (int round = 0; round < 2; ++round) {
+      for (int v = 0; v < nviews; ++v) {
+        f.set_view(0, Datatype::indexed(
+                          {{static_cast<std::uint64_t>(v) * 64, 16}}));
+        std::vector<std::byte> out(16);
+        f.read_at(0, out);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          EXPECT_EQ(out[i],
+                    data[static_cast<std::size_t>(v) * 64 + i]);
+        }
+      }
+    }
+    EXPECT_EQ(f.stats().view_flatten_cache_hits, 0u);
+    f.close();
+  });
+}
+
 TEST(MpiIoFile, SievingOffMatchesSievingOn) {
   auto run_once = [](bool sieve) {
     pfs::LocalFs fs(pfs::LocalFsParams{});

@@ -1,7 +1,10 @@
 // Unit tests for the conservative virtual-time engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -252,6 +255,261 @@ TEST(Engine, SignalBeforeBlockIsNotLost) {
       EXPECT_DOUBLE_EQ(p.now(), 0.5);
     }
   });
+}
+
+TEST(Timeline, RaiseLiftsTheHorizonMonotonically) {
+  Timeline tl;
+  tl.raise(5.0);
+  EXPECT_DOUBLE_EQ(tl.next_free(), 5.0);
+  tl.raise(3.0);  // never lowers
+  EXPECT_DOUBLE_EQ(tl.next_free(), 5.0);
+  EXPECT_DOUBLE_EQ(tl.acquire(0.0, 1.0), 6.0);  // queued behind the horizon
+}
+
+// ---- scheduler backends ----------------------------------------------------
+
+Engine::Options backend_opts(int n, SchedBackend b) {
+  Engine::Options o = opts(n);
+  o.backend = b;
+  o.env_perturb = false;
+  return o;
+}
+
+/// Run the same mixed advance/block/signal workload on one backend and
+/// return (execution order, finish times).
+std::pair<std::vector<int>, std::vector<double>> backend_trace(
+    SchedBackend b, std::uint64_t perturb) {
+  Engine::Options o = backend_opts(6, b);
+  o.perturb_seed = perturb;
+  std::vector<int> order;
+  auto r = Engine::run(o, [&](Proc& p) {
+    for (int i = 0; i < 4; ++i) {
+      p.advance(p.rng().next_double() + 0.01);
+      order.push_back(p.rank());
+      if (p.rank() == 3 && i == 1) {
+        p.block();
+        order.push_back(-3);  // resumption marker
+      }
+      if (p.rank() == 5 && i == 2) p.engine().signal(3);
+    }
+  });
+  return {order, r.finish_times};
+}
+
+TEST(EngineBackends, FiberAndThreadRunsAreIdentical) {
+  for (std::uint64_t perturb : {0ull, 1ull, 2ull}) {
+    auto fib = backend_trace(SchedBackend::kFibers, perturb);
+    auto thr = backend_trace(SchedBackend::kThreads, perturb);
+    EXPECT_EQ(fib.first, thr.first) << "perturb=" << perturb;
+    EXPECT_EQ(fib.second, thr.second) << "perturb=" << perturb;
+  }
+}
+
+TEST(EngineBackends, TsanOrExplicitSelectionResolves) {
+  Engine::Options o = opts(1);
+  // kAuto resolves to something concrete; explicit choices are honoured
+  // except under ThreadSanitizer, which pins kThreads (see docs/SCALING.md).
+  EXPECT_NE(o.effective_backend(), SchedBackend::kAuto);
+  o.backend = SchedBackend::kThreads;
+  EXPECT_EQ(o.effective_backend(), SchedBackend::kThreads);
+}
+
+TEST(EngineBackends, FiberBackendScalesToManyProcs) {
+  // Far beyond what one-thread-per-rank could sensibly run under a test:
+  // 2048 fibers, each doing real work, in one scheduler thread.
+  Engine::Options o = backend_opts(2048, SchedBackend::kFibers);
+  auto r = Engine::run(o, [](Proc& p) {
+    p.advance(0.001 * (p.rank() % 7 + 1));
+    p.advance(0.5);
+  });
+  EXPECT_EQ(r.finish_times.size(), 2048u);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.007 + 0.5);
+}
+
+TEST(EngineBackends, FiberStackSizeOptionIsRespected) {
+  Engine::Options o = backend_opts(2, SchedBackend::kFibers);
+  o.fiber_stack_bytes = 256 * 1024;
+  // Recursion deep enough to need more than a page but well under 256 KiB.
+  std::function<double(Proc&, int)> rec = [&](Proc& p, int d) -> double {
+    volatile char pad[512] = {0};
+    if (d == 0) return pad[0] + p.now();
+    return rec(p, d - 1);
+  };
+  auto r = Engine::run(o, [&](Proc& p) {
+    p.advance(1.0);
+    rec(p, 64);
+  });
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+}
+
+// ---- abort unwinding -------------------------------------------------------
+
+TEST(EngineAbort, ProcBlockedInCollectiveStyleWaitUnwinds) {
+  // Ranks 1..3 block in a gather-style wait that will never be satisfied;
+  // rank 0 throws.  The abort must drain all suspended procs — running
+  // their destructors — and rethrow rank 0's error, not hang or leak.
+  struct Tracker {
+    std::atomic<int>* count;
+    explicit Tracker(std::atomic<int>* c) : count(c) {}
+    ~Tracker() { count->fetch_add(1); }
+  };
+  std::atomic<int> destroyed{0};
+  EXPECT_THROW(Engine::run(opts(4),
+                           [&](Proc& p) {
+                             Tracker t(&destroyed);
+                             if (p.rank() == 0) {
+                               p.advance(1.0);
+                               throw IoError("rank 0 failed");
+                             }
+                             p.block();  // waiting for a message forever
+                           }),
+               IoError);
+  EXPECT_EQ(destroyed.load(), 4);  // every rank's stack fully unwound
+}
+
+TEST(EngineAbort, NeverStartedProcsSkipTheirBodies) {
+  // With enough ranks, some have not had their first dispatch when rank 0
+  // throws at t=0; their bodies must not run during the drain.
+  std::atomic<int> started{0};
+  EXPECT_THROW(Engine::run(opts(32),
+                           [&](Proc& p) {
+                             if (p.rank() == 0) throw IoError("early");
+                             started.fetch_add(1);
+                             p.advance(1.0);
+                           }),
+               IoError);
+  EXPECT_EQ(started.load(), 0);
+}
+
+TEST(EngineAbort, DestructorsMayAdvanceTheClockDuringUnwind) {
+  // A destructor that yields (advances virtual time) while the abort
+  // unwinds must complete without re-entering the scheduler fatally —
+  // the regression behind flushing write-behind buffers from ~File().
+  struct FlushOnExit {
+    Proc* p;
+    ~FlushOnExit() { p->advance(0.25, TimeCategory::kIo); }
+  };
+  EXPECT_THROW(Engine::run(opts(3),
+                           [&](Proc& p) {
+                             FlushOnExit f{&p};
+                             if (p.rank() == 2) throw IoError("late");
+                             p.block();
+                           }),
+               IoError);
+}
+
+TEST(EngineAbort, RepeatedRunsAfterAbortStayClean) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(
+        Engine::run(opts(4),
+                    [](Proc& p) {
+                      if (p.rank() == 1) throw IoError("again");
+                      p.block();
+                    }),
+        IoError);
+  }
+  // The engine is per-run state; a fresh run works normally.
+  auto r = Engine::run(opts(2), [](Proc& p) { p.advance(1.0); });
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+}
+
+// ---- multi-job tenancy -----------------------------------------------------
+
+TEST(EngineJobs, RanksAreJobLocalAndGlobalRanksAreDense) {
+  std::vector<int> ranks, globals, jobs;
+  std::vector<Engine::JobSpec> spec(2);
+  spec[0].name = "a";
+  spec[0].nprocs = 2;
+  spec[0].body = [&](Proc& p) {
+    ranks.push_back(p.rank());
+    globals.push_back(p.global_rank());
+    jobs.push_back(p.job());
+    EXPECT_EQ(p.nprocs(), 2);
+  };
+  spec[1].name = "b";
+  spec[1].nprocs = 3;
+  spec[1].body = [&](Proc& p) {
+    ranks.push_back(p.rank());
+    globals.push_back(p.global_rank());
+    jobs.push_back(p.job());
+    EXPECT_EQ(p.nprocs(), 3);
+  };
+  Engine::Options o;
+  o.env_perturb = false;
+  auto results = Engine::run_jobs(o, std::move(spec));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "a");
+  EXPECT_EQ(results[0].result.finish_times.size(), 2u);
+  EXPECT_EQ(results[1].result.finish_times.size(), 3u);
+  std::sort(ranks.begin(), ranks.end());
+  std::sort(globals.begin(), globals.end());
+  EXPECT_EQ(ranks, (std::vector<int>{0, 0, 1, 1, 2}));
+  EXPECT_EQ(globals, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineJobs, StartTimeOffsetsTheJobsClockDomain) {
+  std::vector<Engine::JobSpec> spec(2);
+  spec[0].nprocs = 1;
+  spec[0].body = [](Proc& p) { p.advance(1.0); };
+  spec[1].nprocs = 1;
+  spec[1].start_time = 10.0;
+  spec[1].body = [](Proc& p) {
+    EXPECT_DOUBLE_EQ(p.now(), 10.0);
+    EXPECT_DOUBLE_EQ(p.job_start(), 10.0);
+    p.advance(1.0);
+  };
+  Engine::Options o;
+  o.env_perturb = false;
+  auto results = Engine::run_jobs(o, std::move(spec));
+  EXPECT_DOUBLE_EQ(results[0].result.makespan, 1.0);
+  EXPECT_DOUBLE_EQ(results[1].result.makespan, 11.0);  // absolute clocks
+}
+
+TEST(EngineJobs, CrossJobSignalByJobAndRank) {
+  std::vector<Engine::JobSpec> spec(2);
+  spec[0].nprocs = 1;
+  spec[0].body = [](Proc& p) {
+    p.block();  // woken by job 1
+    EXPECT_DOUBLE_EQ(p.now(), 0.0);
+  };
+  spec[1].nprocs = 1;
+  spec[1].body = [](Proc& p) {
+    p.advance(2.0);
+    p.engine().signal(/*job=*/0, /*rank=*/0);
+  };
+  Engine::Options o;
+  o.env_perturb = false;
+  auto results = Engine::run_jobs(o, std::move(spec));
+  ASSERT_EQ(results.size(), 2u);
+}
+
+TEST(EngineJobs, SingleJobRunJobsMatchesRun) {
+  auto body = [](Proc& p) {
+    for (int i = 0; i < 3; ++i) p.advance(p.rng().next_double() + 0.1);
+  };
+  Engine::Options o = classic_opts(4);
+  auto direct = Engine::run(o, body);
+  std::vector<Engine::JobSpec> spec(1);
+  spec[0].nprocs = 4;
+  spec[0].body = body;
+  auto jobs = Engine::run_jobs(o, std::move(spec));
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].result.finish_times, direct.finish_times);
+  EXPECT_DOUBLE_EQ(jobs[0].result.makespan, direct.makespan);
+}
+
+TEST(EngineJobs, ExceptionInOneJobAbortsTheRun) {
+  std::vector<Engine::JobSpec> spec(2);
+  spec[0].nprocs = 2;
+  spec[0].body = [](Proc& p) { p.block(); };
+  spec[1].nprocs = 1;
+  spec[1].body = [](Proc& p) {
+    p.advance(0.5);
+    throw IoError("job 1 failed");
+  };
+  Engine::Options o;
+  o.env_perturb = false;
+  EXPECT_THROW(Engine::run_jobs(o, std::move(spec)), IoError);
 }
 
 class EngineFanSweep : public ::testing::TestWithParam<int> {};
