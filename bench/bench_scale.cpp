@@ -23,11 +23,13 @@
 // BENCH_scale_ranks.json (section 1, env-dir activation only).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "harness.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace_export.hpp"
 #include "pfs/striped_fs.hpp"
 
 using namespace paramrio;
@@ -92,8 +94,12 @@ mpi::MultiRuntime::Job make_job(const std::string& name, int ranks,
 
 int main(int argc, char** argv) {
   bool tiny = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    }
   }
   // --json names one file; it goes to the tenancy document (the contention
   // bench proper).  The ranks curve activates via PARAMRIO_BENCH_JSON only.
@@ -214,5 +220,52 @@ int main(int argc, char** argv) {
   // Attach the shared fs's counters (including the per-job "|job:" scopes —
   // only present on genuinely multi-tenant runs) to the final matrix row.
   json_tenancy.attach_registry(last_registry);
+
+  // ---- 4 (--trace): Perfetto export + seed-invariance of integer tracks --
+  // A detail-mode 1-writer-vs-1-reader run per sched seed {0, 1, 2}: tied
+  // arbitration may shift *when* a gauge is sampled, but never what each
+  // entity observes in program order, so the integer counter tracks' value
+  // sequences must match exactly.  The seed-0 run's trace (rank spans +
+  // "entities" gauge tracks) is written to the given path.
+  if (!trace_path.empty()) {
+    bench::print_header(
+        "Scale — detail trace + integer-track seed invariance",
+        "1 writer vs 1 reader job, gauges on; seeds {0,1,2} must agree");
+    std::string ref_fingerprint;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      obs::Collector col;
+      col.set_detail(true);
+      Tenancy t(2 * ranks_per_job);
+      seed_dump(t.fs.store(), "tr", ranks_per_job, chunks);
+      std::vector<mpi::MultiRuntime::Job> jobs;
+      jobs.push_back(
+          make_job("tw", ranks_per_job, t.fs, chunks, /*write=*/true));
+      jobs.push_back(
+          make_job("tr", ranks_per_job, t.fs, chunks, /*write=*/false));
+      jobs[0].params.perturb_seed = seed;
+      obs::attach(&col);
+      mpi::MultiRuntime::run(std::move(jobs));
+      obs::detach();
+      const std::string fp = col.timeline().integer_fingerprint();
+      PARAMRIO_REQUIRE(!fp.empty(),
+                       "bench_scale --trace: no integer gauge tracks");
+      if (seed == 0) {
+        ref_fingerprint = fp;
+        std::ofstream os(trace_path);
+        obs::write_chrome_trace(col, os);
+        PARAMRIO_REQUIRE(os.good(), "bench_scale --trace: cannot write " +
+                                        trace_path);
+        std::printf("%-22s seed 0: %llu gauge points -> %s\n", "shared-pvfs",
+                    static_cast<unsigned long long>(col.timeline().points()),
+                    trace_path.c_str());
+      } else {
+        PARAMRIO_REQUIRE(fp == ref_fingerprint,
+                         "integer counter tracks diverge under sched seed " +
+                             std::to_string(seed));
+        std::printf("%-22s seed %llu: integer tracks byte-identical\n",
+                    "shared-pvfs", static_cast<unsigned long long>(seed));
+      }
+    }
+  }
   return 0;
 }

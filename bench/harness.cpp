@@ -92,6 +92,10 @@ void absorb_run_stats(obs::Collector& col, const sim::Engine::Result& res,
   tb.runtime().network().export_counters(reg);
   if (tracer) tracer->export_counters(reg);
   if (injector) injector->export_counters(reg);
+  // Detail-mode histograms/timelines fold in as "hist:*" / "timeline:*"
+  // scopes; without detail nothing was recorded and nothing is added, so
+  // default registries stay byte-identical to pre-detail releases.
+  if (col.detail()) col.export_detail();
 }
 }  // namespace
 

@@ -1,25 +1,31 @@
 #!/bin/sh
 # Regenerate every table and figure of the paper plus the ablations.
 #
-# Usage: ./run_all_benches.sh [build-dir] [--tiny] [--json DIR]
+# Usage: ./run_all_benches.sh [build-dir] [--tiny] [--json DIR] [--no-json]
 #   --tiny      forwarded to every bench (benches without a tiny mode
 #               ignore it and run at full size)
 #   --json DIR  collect machine-readable results as DIR/BENCH_<name>.json
-#               (via the PARAMRIO_BENCH_JSON environment variable)
+#               (via the PARAMRIO_BENCH_JSON environment variable);
+#               defaults to bench-artifacts/ next to this script
+#   --no-json   console output only, collect nothing
 #
 # Every bench registered in bench/CMakeLists.txt must exist in the build
 # directory — a missing binary is an error, not a silent skip.  Stray
-# non-executable files (CMake droppings) are still skipped.
+# non-executable files (CMake droppings) are still skipped.  After the
+# run, every collected document is schema-checked with
+# tools/bench_compare.py --validate; an invalid artifact fails the run.
 set -e
 BUILD="build"
 TINY=""
 JSON_DIR=""
+NO_JSON=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --tiny) TINY="--tiny" ;;
     --json)
       [ $# -ge 2 ] || { echo "error: --json needs a directory" >&2; exit 2; }
       JSON_DIR="$2"; shift ;;
+    --no-json) NO_JSON=1 ;;
     -*) echo "error: unknown flag: $1" >&2; exit 2 ;;
     *) BUILD="$1" ;;
   esac
@@ -30,8 +36,13 @@ done
   echo "error: no bench directory in '$BUILD' (build first)" >&2
   exit 1
 }
-if [ -n "$JSON_DIR" ]; then
+SRC_DIR="$(dirname "$0")"
+if [ -z "$NO_JSON" ]; then
+  [ -n "$JSON_DIR" ] || JSON_DIR="$SRC_DIR/bench-artifacts"
   mkdir -p "$JSON_DIR"
+  # Stale artifacts from a previous run must not survive into this one's
+  # collection — a bench that stopped emitting would otherwise go unnoticed.
+  rm -f "$JSON_DIR"/BENCH_*.json
   PARAMRIO_BENCH_JSON="$JSON_DIR"
   export PARAMRIO_BENCH_JSON
 fi
@@ -39,7 +50,6 @@ fi
 # The expected bench set is whatever bench/CMakeLists.txt registers.
 # bench_micro (google-benchmark, rejects unknown flags) runs without the
 # pass-through flags.
-SRC_DIR="$(dirname "$0")"
 EXPECTED=$(sed -n 's/^paramrio_add_bench(\([a-z0-9_]*\).*/\1/p' \
   "$SRC_DIR/bench/CMakeLists.txt")
 NOFLAG=$(sed -n 's/^add_executable(\([a-z0-9_]*\) .*/\1/p' \
@@ -67,3 +77,18 @@ for name in $NOFLAG; do
   [ -x "$b" ] || { echo "skipping non-executable $b" >&2; continue; }
   "$b"
 done
+
+# Schema-check what was collected: a bench that emits malformed JSON (or
+# none at all when JSON collection is on) fails the whole run, loudly.
+if [ -z "$NO_JSON" ]; then
+  COLLECTED=$(ls "$JSON_DIR"/BENCH_*.json 2>/dev/null | wc -l)
+  [ "$COLLECTED" -gt 0 ] || {
+    echo "error: no BENCH_*.json collected in $JSON_DIR" >&2
+    exit 1
+  }
+  python3 "$SRC_DIR/tools/bench_compare.py" --validate "$JSON_DIR" || {
+    echo "error: schema-invalid bench artifacts in $JSON_DIR" >&2
+    exit 1
+  }
+  echo "collected $COLLECTED validated artifacts in $JSON_DIR"
+fi

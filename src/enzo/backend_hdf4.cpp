@@ -234,6 +234,8 @@ void Hdf4SerialBackend::write_dump(mpi::Comm& comm,
   if (top_completion >= 0.0 && sim::in_simulation()) {
     // Rank 0's in-flight top-grid write completes here; the barrier wait
     // hid part (often all) of it.
+    obs::record_wait(obs::WaitKind::kSettleWait,
+                     sim::current_proc().now(), top_completion);
     sim::current_proc().clock_at_least(top_completion,
                                        sim::TimeCategory::kIo);
   }

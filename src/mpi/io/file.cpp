@@ -75,6 +75,8 @@ void File::close() {
   // In-flight independent ops the caller never waited on finish here; no
   // saved-time credit (wait() is where hiding is accounted), just the stall.
   if (sim::in_simulation() && inflight_horizon_ > 0.0) {
+    obs::record_wait(obs::WaitKind::kSettleWait,
+                     sim::current_proc().now(), inflight_horizon_);
     sim::current_proc().clock_at_least(inflight_horizon_,
                                        sim::TimeCategory::kIo);
   }
@@ -183,7 +185,10 @@ bool File::try_backoff(int* attempt, std::uint64_t op_serial) {
     stats_.retry.delay_log.push_back({op_serial, delay});
   }
   if (sim::in_simulation()) {
-    sim::current_proc().advance(delay, sim::TimeCategory::kIo);
+    sim::Proc& proc = sim::current_proc();
+    obs::record_wait(obs::WaitKind::kRetryBackoff, proc.now(),
+                     proc.now() + delay);
+    proc.advance(delay, sim::TimeCategory::kIo);
   }
   return true;
 }
@@ -600,6 +605,9 @@ void File::settle_deferred(double issued, double completion) {
   const double now_before = proc.now();
   const double hidden = std::min(completion, now_before) - issued;
   if (hidden > 0.0) stats_.overlap_saved_time += hidden;
+  // Whatever the overlap did not hide is a stall waiting for the in-flight
+  // window/request to land — the deferred-settle wait-for edge.
+  obs::record_wait(obs::WaitKind::kSettleWait, now_before, completion);
   proc.clock_at_least(completion, sim::TimeCategory::kIo);
   if (verify::Verifier* v = verify::verifier()) {
     v->on_file_settle(path_, comm_.rank(), issued, completion,
@@ -664,6 +672,9 @@ Request File::iread_at(std::uint64_t offset, std::span<std::byte> buf) {
   }
   req.active_ = true;
   pending_requests_ += 1;
+  obs::gauge_int("rank" + std::to_string(proc.global_rank()) +
+                     "/mpiio_outstanding",
+                 pending_requests_);
   inflight_horizon_ = std::max(inflight_horizon_, req.completion_);
   if (verify::Verifier* v = verify::verifier()) {
     v->on_file_deferred_issue(path_, comm_.rank(), req.issued_,
@@ -695,6 +706,9 @@ Request File::iwrite_at(std::uint64_t offset, std::span<const std::byte> buf) {
   }
   req.active_ = true;
   pending_requests_ += 1;
+  obs::gauge_int("rank" + std::to_string(proc.global_rank()) +
+                     "/mpiio_outstanding",
+                 pending_requests_);
   inflight_horizon_ = std::max(inflight_horizon_, req.completion_);
   if (verify::Verifier* v = verify::verifier()) {
     v->on_file_deferred_issue(path_, comm_.rank(), req.issued_,
@@ -707,6 +721,12 @@ void File::wait(Request& req) {
   if (!req.active_) return;
   req.active_ = false;
   if (pending_requests_ > 0) pending_requests_ -= 1;
+  if (sim::in_simulation()) {
+    obs::gauge_int(
+        "rank" + std::to_string(sim::current_proc().global_rank()) +
+            "/mpiio_outstanding",
+        pending_requests_);
+  }
   settle_deferred(req.issued_, req.completion_);
 }
 

@@ -447,6 +447,8 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
       if (cur_total > 0) issue_read(0, cur, cur_want);
     }
     for (std::uint64_t t = 0; t < geom.ntimes; ++t) {
+      const double window_start =
+          obs::detail() ? sim::current_proc().now() : 0.0;
       if (i_aggregate) {
         if (cur_total > 0) {
           // Window t's bytes must be on the client before they ship.
@@ -497,11 +499,17 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
         }
         comm_.charge_memcpy(in.size());
       }
+      if (obs::detail()) {
+        obs::latency_sample("two_phase.window",
+                            sim::current_proc().now() - window_start);
+      }
     }
     return;
   }
 
   for (std::uint64_t t = 0; t < geom.ntimes; ++t) {
+    const double window_start =
+        obs::detail() ? sim::current_proc().now() : 0.0;
     if (!is_write) {
       // ---- READ: aggregator reads its window, distributes pieces -------
       if (i_aggregate) {
@@ -699,6 +707,10 @@ void File::two_phase(bool is_write, const std::vector<Segment>& segs,
           }
         }
       }
+    }
+    if (obs::detail()) {
+      obs::latency_sample("two_phase.window",
+                          sim::current_proc().now() - window_start);
     }
   }
 

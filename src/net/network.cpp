@@ -20,6 +20,7 @@ Network::Network(NetworkParams params, int nprocs, int extra_nodes)
 double Network::send(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
   OBS_SPAN("net.send", sim::TimeCategory::kComm);
   obs::span_counter("bytes", bytes);
+  const double msg_start = src.now();
   src.stats().messages_sent += 1;
   src.stats().bytes_sent += bytes;
   counters_.messages += 1;
@@ -50,7 +51,11 @@ double Network::send(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
       break;
     }
   }
-  return transmit(src, dst_rank, bytes);
+  const double arrival = transmit(src, dst_rank, bytes);
+  // Message latency = sender entry to receiver-visible arrival; covers
+  // overhead, contention stalls, the wire and any fault retransmits.
+  obs::latency_sample("net.message", arrival - msg_start);
+  return arrival;
 }
 
 double Network::transmit(sim::Proc& src, int dst_rank, std::uint64_t bytes) {
@@ -80,6 +85,12 @@ void Network::receive(sim::Proc& dst, double arrival, std::uint64_t bytes) {
   OBS_SPAN("net.recv", sim::TimeCategory::kComm);
   obs::span_counter("bytes", bytes);
   dst.stats().bytes_received += bytes;
+  const double wait_start = dst.now();
+  if (arrival > wait_start) {
+    // The receiver idles until the sender's data lands: the canonical
+    // wait-for edge behind "comm-bound" phases.
+    obs::record_wait(obs::WaitKind::kRecvWait, wait_start, arrival);
+  }
   dst.clock_at_least(arrival, sim::TimeCategory::kComm);
   double copy = static_cast<double>(bytes) * params_.recv_byte_cost;
   if (copy > 0.0) dst.advance(copy, sim::TimeCategory::kComm);
@@ -89,6 +100,13 @@ double Network::wire_transfer(double start, int src_node, int dst_node,
                               std::uint64_t bytes) {
   counters_.wire_transfers += 1;
   counters_.wire_bytes += bytes;
+  if (obs::detail()) {
+    obs::gauge_int("net/wire_bytes", counters_.wire_bytes);
+    if (params_.backplane_bandwidth > 0.0) {
+      obs::gauge("net/backplane_backlog",
+                 std::max(0.0, backplane_.next_free() - start));
+    }
+  }
   const double b = static_cast<double>(bytes);
   double link_time = b / params_.bandwidth;
   double span = link_time;

@@ -1,0 +1,296 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace paramrio::obs {
+
+namespace {
+
+BlameCategory base_of(WaitKind kind) {
+  return kind == WaitKind::kRecvWait ? BlameCategory::kComm
+                                     : BlameCategory::kIo;
+}
+
+BlameCategory blame_of(WaitKind kind) {
+  switch (kind) {
+    case WaitKind::kRecvWait:
+      return BlameCategory::kRecvWait;
+    case WaitKind::kServerQueue:
+      return BlameCategory::kServerQueue;
+    case WaitKind::kTokenWait:
+      return BlameCategory::kTokenWait;
+    case WaitKind::kRetryBackoff:
+      return BlameCategory::kRetryBackoff;
+    case WaitKind::kSettleWait:
+      return BlameCategory::kSettleWait;
+  }
+  return BlameCategory::kUnattributed;
+}
+
+std::size_t idx(BlameCategory cat) { return static_cast<std::size_t>(cat); }
+
+/// Blame vector of one phase span: start from the exact ProcStats deltas,
+/// then move wait overlaps out of their base category.  Wait edges can
+/// explain at most the base time the span actually charged — a clipped
+/// overlap never drives comm/io negative.
+BlameVector blame_span(const SpanRecord& s,
+                       const std::vector<const WaitRecord*>& rank_waits) {
+  BlameVector b{};
+  b[idx(BlameCategory::kCpu)] = s.cpu_dt;
+  b[idx(BlameCategory::kComm)] = s.comm_dt;
+  b[idx(BlameCategory::kIo)] = s.io_dt;
+  const double explained = s.cpu_dt + s.comm_dt + s.io_dt;
+  b[idx(BlameCategory::kUnattributed)] =
+      std::max(0.0, s.duration() - explained);
+  for (const WaitRecord* w : rank_waits) {
+    const double overlap =
+        std::min(w->t_end, s.t_end) - std::max(w->t_start, s.t_start);
+    if (!(overlap > 0.0)) continue;
+    double& base = b[idx(base_of(w->kind))];
+    const double shift = std::min(overlap, base);
+    if (!(shift > 0.0)) continue;
+    base -= shift;
+    b[idx(blame_of(w->kind))] += shift;
+  }
+  return b;
+}
+
+void add(BlameVector& into, const BlameVector& from) {
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+double total(const BlameVector& b) {
+  double t = 0.0;
+  for (double v : b) t += v;
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(BlameCategory cat) {
+  switch (cat) {
+    case BlameCategory::kCpu:
+      return "cpu";
+    case BlameCategory::kComm:
+      return "comm";
+    case BlameCategory::kRecvWait:
+      return "recv_wait";
+    case BlameCategory::kIo:
+      return "io";
+    case BlameCategory::kServerQueue:
+      return "server_queue";
+    case BlameCategory::kTokenWait:
+      return "token_wait";
+    case BlameCategory::kRetryBackoff:
+      return "retry_backoff";
+    case BlameCategory::kSettleWait:
+      return "settle_wait";
+    case BlameCategory::kUnattributed:
+      return "unattributed";
+  }
+  return "?";
+}
+
+BlameReport build_blame(const Collector& c, const std::string& root) {
+  BlameReport r;
+  r.root = root;
+
+  // Root span per rank: the first depth-0 synchronous span with the name.
+  std::map<int, const SpanRecord*> roots;
+  for (const SpanRecord& s : c.spans()) {
+    if (s.depth != 0 || s.async || s.name != root) continue;
+    roots.emplace(s.rank, &s);  // keeps the first
+  }
+  if (roots.empty()) return r;
+  r.nranks = static_cast<int>(roots.size());
+
+  std::map<int, std::vector<const WaitRecord*>> waits_by_rank;
+  for (const WaitRecord& w : c.waits()) {
+    waits_by_rank[w.rank].push_back(&w);
+  }
+
+  std::map<std::string, PhaseBlame> phases;
+  std::map<std::string, std::map<int, double>> phase_rank_time;
+  double total_wall = 0.0;
+  double total_attributed = 0.0;
+  double critical_end = 0.0;
+
+  static const std::vector<const WaitRecord*> kNoWaits;
+  for (const auto& [rank, root_span] : roots) {
+    auto wit = waits_by_rank.find(rank);
+    const auto& rank_waits = wit != waits_by_rank.end() ? wit->second
+                                                        : kNoWaits;
+    RankBlame rb;
+    rb.rank = rank;
+    rb.wall = root_span->duration();
+    for (const SpanRecord& s : c.spans()) {
+      if (s.rank != rank || s.depth != 1 || s.async) continue;
+      if (s.t_start < root_span->t_start || s.t_end > root_span->t_end) {
+        continue;
+      }
+      const BlameVector b = blame_span(s, rank_waits);
+      rb.attributed += s.duration();
+      add(rb.blame, b);
+      PhaseBlame& ph = phases[s.name];
+      ph.name = s.name;
+      ph.time += s.duration();
+      add(ph.blame, b);
+      phase_rank_time[s.name][rank] += s.duration();
+    }
+    rb.blame[idx(BlameCategory::kUnattributed)] +=
+        std::max(0.0, rb.wall - total(rb.blame));
+    add(r.blame, rb.blame);
+    total_wall += rb.wall;
+    total_attributed += rb.attributed;
+    r.wall_time = std::max(r.wall_time, rb.wall);
+    if (r.critical_rank < 0 || root_span->t_end > critical_end) {
+      critical_end = root_span->t_end;
+      r.critical_rank = rank;
+    }
+    r.ranks.push_back(rb);
+  }
+  r.attributed_fraction =
+      total_wall > 0.0 ? total_attributed / total_wall : 0.0;
+
+  for (auto& [name, ph] : phases) {
+    ph.mean_rank_time = ph.time / r.nranks;
+    for (const auto& [rank, t] : phase_rank_time[name]) {
+      if (t > ph.max_rank_time) {
+        ph.max_rank_time = t;
+        ph.max_rank = rank;
+      }
+    }
+    r.phases.push_back(ph);
+  }
+  return r;
+}
+
+void write_blame(const BlameReport& r, std::ostream& os) {
+  char buf[256];
+  os << "== critical-path blame: " << r.root << " ==\n";
+  if (r.nranks == 0) {
+    os << "  (no '" << r.root << "' span recorded)\n";
+    return;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  wall %.6fs over %d ranks, critical rank %d, "
+                "%.1f%% attributed to phases\n",
+                r.wall_time, r.nranks, r.critical_rank,
+                100.0 * r.attributed_fraction);
+  os << buf;
+
+  const double grand = total(r.blame);
+  os << "\n  blame category       time (s)    share\n";
+  for (int i = 0; i < kBlameCategories; ++i) {
+    const double t = r.blame[static_cast<std::size_t>(i)];
+    if (t <= 0.0) continue;
+    std::snprintf(buf, sizeof buf, "  %-18s %10.6f   %5.1f%%\n",
+                  to_string(static_cast<BlameCategory>(i)), t,
+                  grand > 0.0 ? 100.0 * t / grand : 0.0);
+    os << buf;
+  }
+
+  os << "\n  phase                         time (s)   imbalance  straggler"
+        "   top blame\n";
+  for (const PhaseBlame& ph : r.phases) {
+    int top = 0;
+    for (int i = 1; i < kBlameCategories; ++i) {
+      if (ph.blame[static_cast<std::size_t>(i)] >
+          ph.blame[static_cast<std::size_t>(top)]) {
+        top = i;
+      }
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  %-28s %10.6f     %6.2fx    rank %-4d  %s\n",
+                  ph.name.c_str(), ph.time, ph.imbalance(), ph.max_rank,
+                  to_string(static_cast<BlameCategory>(top)));
+    os << buf;
+  }
+
+  os << "\n  rank      wall (s)  attributed   top blame\n";
+  for (const RankBlame& rb : r.ranks) {
+    int top = 0;
+    for (int i = 1; i < kBlameCategories; ++i) {
+      if (rb.blame[static_cast<std::size_t>(i)] >
+          rb.blame[static_cast<std::size_t>(top)]) {
+        top = i;
+      }
+    }
+    std::snprintf(buf, sizeof buf, "  %4d  %12.6f      %5.1f%%   %s\n",
+                  rb.rank, rb.wall,
+                  rb.wall > 0.0 ? 100.0 * rb.attributed / rb.wall : 0.0,
+                  to_string(static_cast<BlameCategory>(top)));
+    os << buf;
+  }
+}
+
+std::string blame_text(const BlameReport& r) {
+  std::ostringstream os;
+  write_blame(r, os);
+  return os.str();
+}
+
+namespace {
+
+void write_blame_vector(const BlameVector& b, std::ostream& os) {
+  os << '{';
+  bool first = true;
+  for (int i = 0; i < kBlameCategories; ++i) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << to_string(static_cast<BlameCategory>(i))
+       << "\":" << format_double(b[static_cast<std::size_t>(i)]);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_blame_json(const BlameReport& r, std::ostream& os) {
+  os << "{\n"
+     << R"(  "root": ")" << json_escape(r.root) << "\",\n"
+     << R"(  "nranks": )" << r.nranks << ",\n"
+     << R"(  "wall_time": )" << format_double(r.wall_time) << ",\n"
+     << R"(  "critical_rank": )" << r.critical_rank << ",\n"
+     << R"(  "attributed_fraction": )" << format_double(r.attributed_fraction)
+     << ",\n"
+     << R"(  "blame": )";
+  write_blame_vector(r.blame, os);
+  os << ",\n  \"phases\": [";
+  bool first = true;
+  for (const PhaseBlame& ph : r.phases) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << R"(    {"name": ")" << json_escape(ph.name) << R"(", "time": )"
+       << format_double(ph.time) << R"(, "max_rank": )" << ph.max_rank
+       << R"(, "max_rank_time": )" << format_double(ph.max_rank_time)
+       << R"(, "mean_rank_time": )" << format_double(ph.mean_rank_time)
+       << R"(, "imbalance": )" << format_double(ph.imbalance())
+       << R"(, "blame": )";
+    write_blame_vector(ph.blame, os);
+    os << '}';
+  }
+  os << "\n  ],\n  \"ranks\": [";
+  first = true;
+  for (const RankBlame& rb : r.ranks) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << R"(    {"rank": )" << rb.rank << R"(, "wall": )"
+       << format_double(rb.wall) << R"(, "attributed": )"
+       << format_double(rb.attributed) << R"(, "blame": )";
+    write_blame_vector(rb.blame, os);
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string blame_json(const BlameReport& r) {
+  std::ostringstream os;
+  write_blame_json(r, os);
+  return os.str();
+}
+
+}  // namespace paramrio::obs

@@ -1,0 +1,106 @@
+// Critical-path blame analysis over spans + wait-for edges.
+//
+// The span layer answers "where did the time go" only in the engine's
+// coarse cpu/comm/io taxonomy; this module answers the paper's real
+// question — *what was the critical rank waiting on?* — by re-attributing
+// each rank's end-to-end dump (or restart) wall time:
+//
+//   1. Take the rank's depth-0 root span ("dump" / "restart_read") and its
+//      synchronous depth-1 phase children (the spans the ≥95%-coverage test
+//      already enforces).
+//   2. Start each phase from its exact cpu/comm/io ProcStats deltas.
+//   3. Clip every WaitRecord of the rank against the phase window and move
+//      the overlap out of the base category (comm for recv waits, io for
+//      server queues / token waits / retry backoff / deferred settles) into
+//      its blame category.  Whatever no edge explains stays as plain
+//      cpu/comm/io; gaps between phases become "unattributed".
+//
+// The result is a per-rank and per-phase blame vector plus straggler
+// detection (max-over-mean per phase — the imbalance number that says
+// "rank 0's sequential write IS the dump" for the HDF4 backend).  All
+// inputs are deterministic virtual-time records, so the report — text and
+// JSON — is byte-identical across runs, engine backends, and schedule
+// perturbation seeds on symmetric workloads (test-enforced).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace paramrio::obs {
+
+/// Where a slice of wall time ultimately went.  The first three are the
+/// span layer's own categories (after wait subtraction); the wait
+/// categories are re-attributed from WaitRecords; unattributed is root
+/// time no phase span covered (plus any phase time the ProcStats deltas
+/// did not explain).
+enum class BlameCategory : int {
+  kCpu = 0,
+  kComm = 1,         ///< comm minus recv waits: actual transfer/pack time
+  kRecvWait = 2,     ///< idle at a receive until the sender's data arrived
+  kIo = 3,           ///< io minus queue/token/backoff/settle: device time
+  kServerQueue = 4,
+  kTokenWait = 5,
+  kRetryBackoff = 6,
+  kSettleWait = 7,
+  kUnattributed = 8,
+};
+
+constexpr int kBlameCategories = 9;
+
+const char* to_string(BlameCategory cat);
+
+using BlameVector = std::array<double, kBlameCategories>;
+
+/// Aggregate blame for one phase (depth-1 span name) across all ranks.
+struct PhaseBlame {
+  std::string name;
+  double time = 0.0;  ///< inclusive durations summed across ranks
+  BlameVector blame{};
+  int max_rank = -1;          ///< straggler: rank with the largest share
+  double max_rank_time = 0.0;
+  double mean_rank_time = 0.0;
+
+  /// Max-over-mean straggler factor; 1.0 means perfectly balanced.
+  double imbalance() const {
+    return mean_rank_time > 0.0 ? max_rank_time / mean_rank_time : 0.0;
+  }
+};
+
+/// Blame decomposition of one rank's root-span wall time.
+struct RankBlame {
+  int rank = -1;
+  double wall = 0.0;        ///< root span duration
+  double attributed = 0.0;  ///< wall covered by depth-1 phase spans
+  BlameVector blame{};      ///< sums to wall (unattributed absorbs the rest)
+};
+
+struct BlameReport {
+  std::string root;
+  int nranks = 0;          ///< ranks that executed the root span
+  double wall_time = 0.0;  ///< max root duration across ranks
+  int critical_rank = -1;  ///< last rank to finish the root span
+  double attributed_fraction = 0.0;  ///< phase-covered share of total wall
+  BlameVector blame{};               ///< per-rank vectors summed
+  std::vector<PhaseBlame> phases;    ///< sorted by phase name
+  std::vector<RankBlame> ranks;      ///< sorted by rank
+};
+
+/// Build the blame report for the ranks that executed a depth-0 span named
+/// `root`.  Returns an empty report (nranks == 0) when no rank did.
+BlameReport build_blame(const Collector& c, const std::string& root = "dump");
+
+/// Paper-style fixed-width tables: total blame, per-phase blame with
+/// imbalance, per-rank decomposition.
+void write_blame(const BlameReport& r, std::ostream& os);
+std::string blame_text(const BlameReport& r);
+
+/// Deterministic JSON document (schema validated in CI's obs-blame job).
+void write_blame_json(const BlameReport& r, std::ostream& os);
+std::string blame_json(const BlameReport& r);
+
+}  // namespace paramrio::obs

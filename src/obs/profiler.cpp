@@ -1,5 +1,6 @@
 #include "obs/profiler.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace paramrio::obs {
@@ -19,6 +20,22 @@ const char* to_string(TimeCategory cat) {
       return "comm";
     case TimeCategory::kIo:
       return "io";
+  }
+  return "?";
+}
+
+const char* to_string(WaitKind kind) {
+  switch (kind) {
+    case WaitKind::kRecvWait:
+      return "recv_wait";
+    case WaitKind::kServerQueue:
+      return "server_queue";
+    case WaitKind::kTokenWait:
+      return "token_wait";
+    case WaitKind::kRetryBackoff:
+      return "retry_backoff";
+    case WaitKind::kSettleWait:
+      return "settle_wait";
   }
   return "?";
 }
@@ -83,6 +100,47 @@ void Collector::sample(sim::Proc& proc, const char* name, double value) {
       CounterSample{proc.global_rank(), proc.now(), name, value});
 }
 
+void Collector::gauge(const std::string& track, double time, double value,
+                      bool integer) {
+  if (!detail_) return;
+  timeline_.record(track, time, value, integer);
+}
+
+void Collector::latency(const std::string& name, double seconds) {
+  if (!detail_) return;
+  histograms_[name].record(seconds);
+}
+
+void Collector::record_wait(sim::Proc& proc, WaitKind kind, double t_start,
+                            double t_end) {
+  // Deferred (shadow-clock) intervals never charged the real clock, so
+  // there is no span time to re-attribute; recording them would make the
+  // blame engine subtract from io_dt that never accrued.
+  if (!detail_ || proc.deferred() || !(t_end > t_start)) return;
+  waits_.push_back(WaitRecord{proc.global_rank(), kind, t_start, t_end});
+}
+
+void Collector::export_detail() {
+  for (const auto& [name, hist] : histograms_) {
+    hist.export_to(registry_, "hist:" + name);
+  }
+  for (const auto& [name, track] : timeline_.tracks()) {
+    if (track.points.empty()) continue;
+    const std::string scope = "timeline:" + name;
+    registry_.set(scope, "samples",
+                  static_cast<std::uint64_t>(track.points.size()));
+    double peak = track.points.front().value;
+    for (const Timeline::Point& p : track.points) {
+      peak = std::max(peak, p.value);
+    }
+    if (track.integer) {
+      registry_.set(scope, "peak", static_cast<std::uint64_t>(peak));
+    } else {
+      registry_.set_value(scope, "peak", peak);
+    }
+  }
+}
+
 bool Collector::balanced() const {
   for (const auto& st : stacks_) {
     if (!st.empty()) return false;
@@ -116,6 +174,40 @@ void counter_sample(const char* name, double value) {
   Collector* c = collector();
   if (c != nullptr && sim::in_simulation()) {
     c->sample(sim::current_proc(), name, value);
+  }
+}
+
+bool detail() {
+  Collector* c = collector();
+  return c != nullptr && c->detail() && sim::in_simulation();
+}
+
+void gauge(const std::string& track, double value) {
+  Collector* c = collector();
+  if (c != nullptr && c->detail() && sim::in_simulation()) {
+    c->gauge(track, sim::current_proc().now(), value, /*integer=*/false);
+  }
+}
+
+void gauge_int(const std::string& track, std::uint64_t value) {
+  Collector* c = collector();
+  if (c != nullptr && c->detail() && sim::in_simulation()) {
+    c->gauge(track, sim::current_proc().now(), static_cast<double>(value),
+             /*integer=*/true);
+  }
+}
+
+void latency_sample(const std::string& name, double seconds) {
+  Collector* c = collector();
+  if (c != nullptr && c->detail() && sim::in_simulation()) {
+    c->latency(name, seconds);
+  }
+}
+
+void record_wait(WaitKind kind, double t_start, double t_end) {
+  Collector* c = collector();
+  if (c != nullptr && c->detail() && sim::in_simulation()) {
+    c->record_wait(sim::current_proc(), kind, t_start, t_end);
   }
 }
 

@@ -27,11 +27,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeline.hpp"
 #include "sim/engine.hpp"
 
 namespace paramrio::obs {
@@ -73,6 +76,31 @@ struct CounterSample {
   double value = 0.0;
 };
 
+/// What a rank was waiting *on* during a blame-relevant interval.  These are
+/// the wait-for edges the critical-path engine subtracts from the span
+/// layer's coarse cpu/comm/io categories.
+enum class WaitKind : int {
+  kRecvWait = 0,     ///< receiver idle until a message's arrival time
+  kServerQueue = 1,  ///< request queued behind other work at an I/O server
+  kTokenWait = 2,    ///< GPFS-style write-token acquisition
+  kRetryBackoff = 3, ///< fault-retry exponential backoff on the virtual clock
+  kSettleWait = 4,   ///< deferred (in-flight) I/O settling at a sync point
+};
+
+const char* to_string(WaitKind kind);
+
+/// One wait-for interval on a rank's *real* clock.  [t_start, t_end) lies
+/// inside time the span layer accounted as comm (kRecvWait) or io (all
+/// others); CriticalPath re-attributes the overlap.
+struct WaitRecord {
+  int rank = -1;
+  WaitKind kind = WaitKind::kRecvWait;
+  double t_start = 0.0;
+  double t_end = 0.0;
+
+  double duration() const { return t_end - t_start; }
+};
+
 /// Collects spans and counter samples for one (or more) Engine::runs, and
 /// owns the run-level MetricsRegistry.  Attach with obs::attach() before
 /// the run; the collector must outlive everything that records into it.
@@ -94,6 +122,28 @@ class Collector {
   void span_counter(sim::Proc& proc, const char* name, std::uint64_t value);
   void sample(sim::Proc& proc, const char* name, double value);
 
+  // ---- detail telemetry (gauges / histograms / wait edges) --------------
+
+  /// Detail mode gates everything below: gauges, latency histograms and
+  /// wait records are captured only when enabled.  Off by default so a
+  /// plain Collector's registry and trace stay byte-identical to the
+  /// pre-detail era (nonzero-only discipline, test-enforced).
+  void set_detail(bool on) { detail_ = on; }
+  bool detail() const { return detail_; }
+
+  /// Append a gauge point on the entity timeline (no-op unless detail).
+  void gauge(const std::string& track, double time, double value,
+             bool integer);
+
+  /// Record a latency sample into the named histogram (no-op unless detail).
+  void latency(const std::string& name, double seconds);
+
+  /// Record a wait-for interval for `proc` (no-op unless detail; intervals
+  /// recorded while the proc is deferred are dropped — the shadow clock
+  /// charges no ProcStats, so there is nothing to re-attribute).
+  void record_wait(sim::Proc& proc, WaitKind kind, double t_start,
+                   double t_end);
+
   // ---- inspection -------------------------------------------------------
 
   /// Finished spans in completion order (deterministic under the engine).
@@ -108,8 +158,20 @@ class Collector {
   /// Highest rank seen recording, plus one (0 when nothing recorded).
   int ranks() const { return static_cast<int>(stacks_.size()); }
 
+  const std::vector<WaitRecord>& waits() const { return waits_; }
+  const Timeline& timeline() const { return timeline_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
   MetricsRegistry& registry() { return registry_; }
   const MetricsRegistry& registry() const { return registry_; }
+
+  /// Fold detail telemetry into the registry: each histogram becomes a
+  /// "hist:<name>" scope (nonzero buckets + exact percentiles), each
+  /// timeline track a "timeline:<track>" summary scope (samples + peak).
+  /// Empty histograms/tracks export nothing, so a clean run adds no scopes.
+  void export_detail();
 
   /// Drop spans and samples (the registry survives; use registry().clear()).
   void clear_events();
@@ -118,7 +180,11 @@ class Collector {
   std::vector<std::vector<SpanRecord>> stacks_;  ///< open spans, per rank
   std::vector<SpanRecord> spans_;
   std::vector<CounterSample> samples_;
+  std::vector<WaitRecord> waits_;
+  Timeline timeline_;
+  std::map<std::string, Histogram> histograms_;
   MetricsRegistry registry_;
+  bool detail_ = false;
 };
 
 /// Attach `c` as the process-wide collector (nullptr detaches).  Call
@@ -161,6 +227,25 @@ void span_counter(const char* name, std::uint64_t value);
 
 /// Record a counter sample (no-op when inactive).
 void counter_sample(const char* name, double value);
+
+/// True when a collector is attached with detail mode on — the cheap guard
+/// instrumented hot paths test before computing gauge values.
+bool detail();
+
+/// Append a double-valued gauge point at the calling proc's current virtual
+/// time (no-op unless detail and on a simulated proc).
+void gauge(const std::string& track, double value);
+
+/// Append an integer-valued gauge point (queue depths, request counts).
+void gauge_int(const std::string& track, std::uint64_t value);
+
+/// Record a latency sample in virtual seconds (no-op unless detail).
+void latency_sample(const std::string& name, double seconds);
+
+/// Record a wait-for interval [t_start, t_end) on the calling proc's real
+/// clock (no-op unless detail; dropped when t_end <= t_start or the proc is
+/// in deferred mode).
+void record_wait(WaitKind kind, double t_start, double t_end);
 
 #define PARAMRIO_OBS_CONCAT2(a, b) a##b
 #define PARAMRIO_OBS_CONCAT(a, b) PARAMRIO_OBS_CONCAT2(a, b)

@@ -1,0 +1,67 @@
+#include "obs/timeline.hpp"
+
+#include <sstream>
+
+#include "obs/registry.hpp"
+
+namespace paramrio::obs {
+
+void Timeline::record(const std::string& track, double time, double value,
+                      bool integer) {
+  Track& t = tracks_[track];
+  t.integer = t.integer || integer;
+  if (!t.points.empty() && t.points.back().value == value) return;
+  t.points.push_back(Point{time, value});
+}
+
+std::uint64_t Timeline::points() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, track] : tracks_) n += track.points.size();
+  return n;
+}
+
+std::string Timeline::integer_fingerprint() const {
+  std::ostringstream os;
+  for (const auto& [name, track] : tracks_) {
+    if (!track.integer) continue;
+    os << name << ':';
+    bool first = true;
+    for (const Point& p : track.points) {
+      if (!first) os << ',';
+      first = false;
+      os << static_cast<std::int64_t>(p.value);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Timeline::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  os << '{' << nl;
+  bool first_track = true;
+  for (const auto& [name, track] : tracks_) {
+    if (!first_track) os << ',' << nl;
+    first_track = false;
+    os << pad << '"' << json_escape(name) << R"(":{"integer":)"
+       << (track.integer ? "true" : "false") << R"(,"points":[)";
+    bool first_point = true;
+    for (const Point& p : track.points) {
+      if (!first_point) os << ',';
+      first_point = false;
+      os << '[' << format_double(p.time) << ',' << format_double(p.value)
+         << ']';
+    }
+    os << "]}";
+  }
+  os << nl << '}' << nl;
+}
+
+std::string Timeline::to_json(int indent) const {
+  std::ostringstream os;
+  write_json(os, indent);
+  return os.str();
+}
+
+}  // namespace paramrio::obs

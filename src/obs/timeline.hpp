@@ -1,0 +1,71 @@
+// Deterministic virtual-clock time-series gauges.
+//
+// A Timeline holds named tracks of (virtual time, value) points — I/O-server
+// queue depth, per-job backlog, link bytes in flight, buffer-cache hit rate,
+// outstanding requests per rank.  Producers call obs::gauge()/gauge_int()
+// (profiler.hpp) from instrumented layers; the points land here in engine
+// order, which is deterministic, so two runs of the same spec record
+// byte-identical timelines.
+//
+// Tracks distinguish integer-valued gauges (counts: queue depths, request
+// totals) from double-valued ones (rates, virtual seconds).  The integer
+// tracks have a stronger invariance property: their *value sequences* are
+// identical even across schedule-perturbation seeds, because tie-break
+// shuffles reorder equal-time events but never change what each entity
+// observes in program order.  integer_fingerprint() exposes exactly that
+// comparison unit (values only, timestamps stripped) — bench_scale --trace
+// asserts it across seeds {0,1,2}.
+//
+// Export: Perfetto counter tracks (trace_export.cpp draws them in a
+// dedicated "entities" process row) and a deterministic JSON object.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paramrio::obs {
+
+class Timeline {
+ public:
+  struct Point {
+    double time = 0.0;
+    double value = 0.0;
+  };
+
+  struct Track {
+    bool integer = false;  ///< values are exact counts, not virtual seconds
+    std::vector<Point> points;
+  };
+
+  /// Append a point to `track` (created on first use).  Consecutive points
+  /// with the same value are deduplicated — a gauge that never moves costs
+  /// one point, and clean-run timelines stay small.
+  void record(const std::string& track, double time, double value,
+              bool integer = false);
+
+  bool empty() const { return tracks_.empty(); }
+  const std::map<std::string, Track>& tracks() const { return tracks_; }
+  void clear() { tracks_.clear(); }
+
+  /// Total recorded points across all tracks.
+  std::uint64_t points() const;
+
+  /// "track:v0,v1,...\n" per *integer* track, sorted by track name, values
+  /// only — the seed-invariant comparison unit (timestamps may legitimately
+  /// shift under tied resource arbitration; the observed value sequence per
+  /// entity does not).
+  std::string integer_fingerprint() const;
+
+  /// Deterministic JSON: {"track": {"integer": bool, "points":
+  /// [[t, v], ...]}, ...}.  Doubles print via format_double.
+  void write_json(std::ostream& os, int indent = 0) const;
+  std::string to_json(int indent = 0) const;
+
+ private:
+  std::map<std::string, Track> tracks_;
+};
+
+}  // namespace paramrio::obs

@@ -101,6 +101,29 @@ void write_chrome_trace(const Collector& c, std::ostream& os) {
        << "}}";
   }
 
+  // Detail-mode entity gauges (I/O-server backlogs, link bytes in flight,
+  // cache hit rate) live in their own "entities" process row so they don't
+  // crowd the rank tracks.  Runs without a timeline emit nothing — traces
+  // stay byte-identical to the pre-detail era.
+  if (!c.timeline().empty()) {
+    write_event_prefix(os, first);
+    os << R"({"ph":"M","pid":1,"tid":0,"name":"process_name",)"
+       << R"("args":{"name":"entities"}})";
+    for (const auto& [name, track] : c.timeline().tracks()) {
+      for (const Timeline::Point& p : track.points) {
+        write_event_prefix(os, first);
+        os << R"({"ph":"C","pid":1,"tid":0,"name":")" << json_escape(name)
+           << R"(","ts":)" << ts_us(p.time) << R"(,"args":{"value":)";
+        if (track.integer) {
+          os << static_cast<std::int64_t>(p.value);
+        } else {
+          os << format_double(p.value);
+        }
+        os << "}}";
+      }
+    }
+  }
+
   os << "\n]\n}\n";
 }
 

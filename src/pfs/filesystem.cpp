@@ -72,7 +72,10 @@ std::uint64_t FileSystem::read_at(int fd, std::uint64_t offset,
       const double delay = fault::backoff_delay(retry_, attempt);
       ++attempt;
       fs_retries_ += 1;
-      sim::current_proc().advance(delay, sim::TimeCategory::kIo);
+      sim::Proc& proc = sim::current_proc();
+      obs::record_wait(obs::WaitKind::kRetryBackoff, proc.now(),
+                       proc.now() + delay);
+      proc.advance(delay, sim::TimeCategory::kIo);
       continue;
     }
     if (done >= out.size()) return done;
@@ -88,6 +91,7 @@ std::uint64_t FileSystem::read_attempt(OpenFile& f, int fd,
                                        std::span<std::byte> out) {
   OBS_SPAN("pfs.read", sim::TimeCategory::kIo);
   sim::Proc& proc = sim::current_proc();
+  const double op_start = proc.now();
   std::uint64_t transfer = out.size();
   if (fault_hook_ != nullptr) {
     const fault::IoFaultAction a =
@@ -122,15 +126,27 @@ std::uint64_t FileSystem::read_attempt(OpenFile& f, int fd,
   }
   if (cache_enabled_ && transfer > 0) {
     Intervals& iv = cache_of(f);
-    if (cache_covers(iv, offset, transfer)) {
+    cache_lookups_ += 1;
+    const bool hit = cache_covers(iv, offset, transfer);
+    if (hit) cache_hit_lookups_ += 1;
+    if (obs::detail()) {
+      obs::gauge("fs:" + name() + "/cache_hit_rate",
+                 static_cast<double>(cache_hit_lookups_) /
+                     static_cast<double>(cache_lookups_));
+      obs::gauge_int("fs:" + name() + "/cache_hit_bytes",
+                     cache_hits_ + (hit ? transfer : 0));
+    }
+    if (hit) {
       cache_hits_ += transfer;
       proc.advance(static_cast<double>(transfer) / cache_bandwidth_,
                    sim::TimeCategory::kIo);
+      obs::latency_sample("pfs.read", proc.now() - op_start);
       return transfer;
     }
     cache_insert(iv, offset, transfer);
   }
   charge(proc, f.path, offset, transfer, /*is_write=*/false);
+  obs::latency_sample("pfs.read", proc.now() - op_start);
   return transfer;
 }
 
@@ -152,7 +168,10 @@ std::uint64_t FileSystem::write_at(int fd, std::uint64_t offset,
       const double delay = fault::backoff_delay(retry_, attempt);
       ++attempt;
       fs_retries_ += 1;
-      sim::current_proc().advance(delay, sim::TimeCategory::kIo);
+      sim::Proc& proc = sim::current_proc();
+      obs::record_wait(obs::WaitKind::kRetryBackoff, proc.now(),
+                       proc.now() + delay);
+      proc.advance(delay, sim::TimeCategory::kIo);
       continue;
     }
     if (done >= data.size()) return done;
@@ -165,6 +184,7 @@ std::uint64_t FileSystem::write_attempt(OpenFile& f, int fd,
                                         std::span<const std::byte> data) {
   OBS_SPAN("pfs.write", sim::TimeCategory::kIo);
   sim::Proc& proc = sim::current_proc();
+  const double op_start = proc.now();
   std::uint64_t transfer = data.size();
   if (fault_hook_ != nullptr) {
     const fault::IoFaultAction a =
@@ -201,6 +221,7 @@ std::uint64_t FileSystem::write_attempt(OpenFile& f, int fd,
     cache_insert(cache_of(f), offset, transfer);
   }
   charge(proc, f.path, offset, transfer, /*is_write=*/true);
+  obs::latency_sample("pfs.write", proc.now() - op_start);
   return transfer;
 }
 

@@ -239,6 +239,8 @@ class FileSystem {
   bool cache_enabled_ = false;
   double cache_bandwidth_ = 0.0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_lookups_ = 0;      ///< read-side cache consults
+  std::uint64_t cache_hit_lookups_ = 0;  ///< consults fully served from cache
   std::map<std::string, Intervals> cache_;
   std::uint64_t cache_gen_ = 1;  ///< bumped on remove/truncate/drop_caches
   std::map<int, JobIo> job_io_;

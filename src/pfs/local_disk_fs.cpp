@@ -1,5 +1,9 @@
 #include "pfs/local_disk_fs.hpp"
 
+#include <algorithm>
+
+#include "obs/profiler.hpp"
+
 namespace paramrio::pfs {
 
 LocalDiskFs::LocalDiskFs(LocalDiskFsParams params, int nprocs)
@@ -32,7 +36,19 @@ void LocalDiskFs::charge(sim::Proc& proc, const std::string& path,
   insert_range(my_cache, offset, bytes);
   proc.advance(params_.client_overhead, sim::TimeCategory::kIo);
   auto& d = disks_[static_cast<std::size_t>(client)];
-  double done = d.serve(proc.now(), path, offset, bytes, is_write);
+  const bool detail = obs::detail();
+  const double issue = proc.now();
+  double qw = 0.0;
+  double done = d.serve(issue, path, offset, bytes, is_write, 0.0, -1, 1.0,
+                        detail ? &qw : nullptr);
+  if (detail) {
+    obs::gauge_int("ioserver:" + name() + "/" + std::to_string(client) +
+                       "/requests",
+                   d.requests());
+    if (qw > 0.0) {
+      obs::record_wait(obs::WaitKind::kServerQueue, issue, issue + qw);
+    }
+  }
   proc.clock_at_least(done, sim::TimeCategory::kIo);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace paramrio::pfs {
 
 LocalFs::LocalFs(LocalFsParams params) : params_(params) {
@@ -17,15 +19,38 @@ void LocalFs::charge(sim::Proc& proc, const std::string& path,
   proc.advance(params_.client_overhead +
                    static_cast<double>(bytes) / params_.per_client_bandwidth,
                sim::TimeCategory::kIo);
-  double done = proc.now();
+  const bool detail = obs::detail();
+  const double issue = proc.now();
+  double done = issue;
+  double crit_queue_wait = 0.0;
   for_each_stripe_chunk(
       offset, bytes, params_.stripe_size, params_.n_disks,
       [&](const StripeChunk& c) {
         auto& d = disks_[static_cast<std::size_t>(c.server)];
-        done = std::max(done, d.serve(proc.now(), path, c.server_offset,
-                                      c.length, is_write));
+        if (detail) {
+          obs::gauge("ioserver:" + name() + "/" + std::to_string(c.server) +
+                         "/backlog",
+                     std::max(0.0, d.next_free() - issue));
+        }
+        double qw = 0.0;
+        const double completion =
+            d.serve(issue, path, c.server_offset, c.length, is_write, 0.0,
+                    -1, 1.0, detail ? &qw : nullptr);
+        if (detail) {
+          obs::gauge_int("ioserver:" + name() + "/" +
+                             std::to_string(c.server) + "/requests",
+                         d.requests());
+        }
+        if (completion > done) {
+          done = completion;
+          crit_queue_wait = qw;
+        }
       },
       object_first_server(path, params_.n_disks));
+  if (crit_queue_wait > 0.0) {
+    obs::record_wait(obs::WaitKind::kServerQueue, issue,
+                     issue + crit_queue_wait);
+  }
   proc.clock_at_least(done, sim::TimeCategory::kIo);
 }
 

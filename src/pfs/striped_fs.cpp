@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 
 namespace paramrio::pfs {
@@ -131,20 +132,27 @@ void StripedFs::charge(sim::Proc& proc, const std::string& path,
     const std::uint64_t ss = params_.stripe_size;
     const std::uint64_t s_lo = offset / ss;
     const std::uint64_t s_hi = (offset + bytes + ss - 1) / ss;
+    const double token_wait_start = proc.now();
     if (runs_conflict(owners, s_lo, s_hi, client)) {
       req_start = token_manager_.acquire(req_start, params_.write_lock_cost);
       ++token_transfers_;
+      obs::record_wait(obs::WaitKind::kTokenWait, token_wait_start,
+                       req_start);
     }
     runs_assign(owners, s_lo, s_hi, client);
   }
 
+  const bool detail = obs::detail();
   double done = req_start;
+  double crit_queue_wait = 0.0;  // queue wait of the completion-critical chunk
   for_each_stripe_chunk(
       offset, bytes, params_.stripe_size, params_.n_io_nodes,
       [&](const StripeChunk& c) {
         double t = req_start;
+        double chunk_wait = 0.0;
         if (params_.smp_io_channel) {
           auto& ch = smp_channels_[static_cast<std::size_t>(client_node)];
+          if (detail) chunk_wait += std::max(0.0, ch.next_free() - t);
           t = ch.acquire(t, params_.smp_channel_overhead +
                                 static_cast<double>(c.length) /
                                     params_.smp_channel_bandwidth);
@@ -152,11 +160,46 @@ void StripedFs::charge(sim::Proc& proc, const std::string& path,
         t = network_.wire_transfer(t, client_node, io_base + c.server,
                                    c.length);
         auto& srv = servers_[static_cast<std::size_t>(c.server)];
-        done = std::max(done,
-                        srv.serve(t, path, c.server_offset, c.length, is_write,
-                                  0.0, proc.job(), proc.job_weight()));
+        double srv_wait = 0.0;
+        if (detail) {
+          obs::gauge("ioserver:" + name() + "/" + std::to_string(c.server) +
+                         "/backlog",
+                     std::max(0.0, srv.next_free() - t));
+        }
+        const double completion =
+            srv.serve(t, path, c.server_offset, c.length, is_write, 0.0,
+                      proc.job(), proc.job_weight(),
+                      detail ? &srv_wait : nullptr);
+        if (detail) {
+          const std::string server_track =
+              "ioserver:" + name() + "/" + std::to_string(c.server);
+          obs::gauge_int(server_track + "/requests", srv.requests());
+          // Per-job backlog/request tracks exist only on genuinely
+          // multi-tenant runs (lone-tenant timelines stay identical to
+          // single-job runs).  Gate on the run's static job count, not the
+          // server's seen-tenant count: the latter flips mid-run at a
+          // seed-dependent point, which would perturb the track contents.
+          if (proc.njobs() > 1) {
+            const auto& share = srv.job_shares().at(proc.job());
+            const std::string job_track =
+                server_track + "/job:" + std::to_string(proc.job());
+            obs::gauge_int(job_track + "/requests", share.requests);
+            obs::gauge(job_track + "/backlog",
+                       std::max(0.0, share.busy - t));
+          }
+        }
+        if (completion > done) {
+          done = completion;
+          crit_queue_wait = chunk_wait + srv_wait;
+        }
       },
       object_first_server(path, params_.n_io_nodes));
+  if (crit_queue_wait > 0.0) {
+    // The charge advances the clock to `done`; attribute the critical
+    // chunk's queueing share of that window as a server-queue wait.
+    obs::record_wait(obs::WaitKind::kServerQueue, req_start,
+                     req_start + crit_queue_wait);
+  }
   proc.clock_at_least(done, sim::TimeCategory::kIo);
 }
 

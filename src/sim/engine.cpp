@@ -148,6 +148,8 @@ int Proc::nprocs() const { return engine_->job_nprocs(job_); }
 
 const std::string& Proc::job_name() const { return engine_->job_name(job_); }
 
+int Proc::njobs() const { return engine_->njobs(); }
+
 void Proc::advance(double dt, TimeCategory cat) {
   PARAMRIO_REQUIRE(dt >= 0.0, "negative time advance");
   if (deferred_) {

@@ -122,6 +122,10 @@ class Proc {
   int global_rank() const { return global_; }
   /// Job index within the run (0 in a single-job run).
   int job() const { return job_; }
+  /// Jobs co-scheduled in this run (1 in a single-job run) — a static
+  /// property of the run, unlike a shared resource's seen-tenant count,
+  /// so gating on it is invariant under schedule perturbation.
+  int njobs() const;
   /// This job's fair-share weight at shared I/O servers.
   double job_weight() const { return job_weight_; }
   /// This job's virtual start time (clock domain offset; now() is absolute).

@@ -60,9 +60,13 @@ class IoServer {
   /// the stretch factor is exactly 1.0 and the result is bit-identical to
   /// the FIFO timeline, so single-job runs are unaffected.  `job` < 0 keeps
   /// the plain FIFO path.
+  /// `queue_wait`, when non-null, receives the time the request spent
+  /// queued behind other work (completion - start - service; under
+  /// fair-share this includes the stretch charged for competing tenants).
   double serve(double start, const std::string& object, std::uint64_t offset,
                std::uint64_t bytes, bool is_write = false,
-               double extra_service = 0.0, int job = -1, double weight = 1.0) {
+               double extra_service = 0.0, int job = -1, double weight = 1.0,
+               double* queue_wait = nullptr) {
     double service = params_.request_overhead + extra_service +
                      static_cast<double>(bytes) / params_.bandwidth;
     if (object == last_object_ && offset == last_end_) {
@@ -79,7 +83,11 @@ class IoServer {
     last_end_ = offset + bytes;
     requests_ += 1;
     bytes_moved_ += bytes;
-    if (job < 0) return busy_.acquire(start, service);
+    if (job < 0) {
+      const double completion = busy_.acquire(start, service);
+      if (queue_wait != nullptr) *queue_wait = completion - start - service;
+      return completion;
+    }
 
     JobShare& mine = shares_[job];
     mine.weight = weight;
@@ -95,6 +103,7 @@ class IoServer {
         std::max(start, mine.busy) + service * stretch;
     mine.busy = completion;
     busy_.raise(completion);  // keep the aggregate envelope truthful
+    if (queue_wait != nullptr) *queue_wait = completion - start - service;
     return completion;
   }
 

@@ -20,6 +20,7 @@
 #include "enzo/backends.hpp"
 #include "enzo/simulation.hpp"
 #include "harness.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "pfs/local_fs.hpp"
 #include "pfs/striped_fs.hpp"
@@ -361,6 +362,87 @@ TEST(MultiJob, PerJobCounterScopesAppearOnlyWhenMultiTenant) {
   }
   EXPECT_TRUE(saw_a);
   EXPECT_TRUE(saw_b);
+}
+
+/// A contended two-job run with detail telemetry on; returns the collector's
+/// whole detail surface for cross-engine/cross-seed comparison.
+struct DetailRun {
+  std::string fingerprint;   ///< integer gauge tracks, values only
+  std::string registry_json; ///< full registry incl. hist:/timeline: scopes
+};
+
+DetailRun detail_run(sim::SchedBackend backend, std::uint64_t seed) {
+  obs::Collector col;
+  col.set_detail(true);
+  SharedStorage st(8);
+  std::vector<mpi::MultiRuntime::Job> jobs(2);
+  jobs[0].name = "a";
+  jobs[0].params = job_params(4);
+  jobs[0].params.backend = backend;
+  jobs[0].params.perturb_seed = seed;
+  jobs[0].body = [&st](mpi::Comm& c) { io_workload(c, st.fs, "a", 8); };
+  jobs[1].name = "b";
+  jobs[1].params = job_params(4);
+  jobs[1].body = [&st](mpi::Comm& c) { io_workload(c, st.fs, "b", 8); };
+  obs::attach(&col);
+  mpi::MultiRuntime::run(std::move(jobs));
+  obs::detach();
+  col.export_detail();
+  DetailRun r;
+  r.fingerprint = col.timeline().integer_fingerprint();
+  r.registry_json = col.registry().to_json(2);
+  return r;
+}
+
+// Satellite 3: the detail surface — Timeline and Histogram registry scopes —
+// exports byte-identically whether ranks run as fibers or OS threads, and
+// the integer gauge tracks survive schedule perturbation untouched.
+TEST(MultiJob, DetailExportIsEngineInvariantAndSeedStable) {
+  const DetailRun fib = detail_run(sim::SchedBackend::kFibers, 0);
+  ASSERT_FALSE(fib.fingerprint.empty());
+  EXPECT_NE(fib.fingerprint.find("/job:"), std::string::npos)
+      << "two contending jobs must surface per-job gauge tracks";
+  EXPECT_NE(fib.registry_json.find("\"timeline:"), std::string::npos);
+  EXPECT_NE(fib.registry_json.find("\"hist:"), std::string::npos);
+
+  // Fiber vs thread: the engines are byte-identical, so the *entire* detail
+  // registry (double-valued histogram stats included) must match.
+  const DetailRun thr = detail_run(sim::SchedBackend::kThreads, 0);
+  EXPECT_EQ(thr.fingerprint, fib.fingerprint);
+  EXPECT_EQ(thr.registry_json, fib.registry_json);
+
+  // Across perturbation seeds only the integer value sequences are promised
+  // (timestamps of tied events may legitimately shift).
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    EXPECT_EQ(detail_run(sim::SchedBackend::kFibers, seed).fingerprint,
+              fib.fingerprint)
+        << "seed " << seed;
+  }
+}
+
+// Satellite 6 at the timeline level: a lone tenant's detail telemetry has no
+// per-job tracks at all — those exist only on genuinely multi-tenant runs.
+TEST(MultiJob, LoneTenantDetailHasNoPerJobTracks) {
+  obs::Collector col;
+  col.set_detail(true);
+  SharedStorage st(4);
+  std::vector<mpi::MultiRuntime::Job> jobs(1);
+  jobs[0].name = "solo";
+  jobs[0].params = job_params(4);
+  jobs[0].body = [&st](mpi::Comm& c) { io_workload(c, st.fs, "solo", 8); };
+  obs::attach(&col);
+  mpi::MultiRuntime::run(std::move(jobs));
+  obs::detach();
+  EXPECT_FALSE(col.timeline().empty());
+  for (const auto& [name, track] : col.timeline().tracks()) {
+    EXPECT_EQ(name.find("/job:"), std::string::npos)
+        << "per-job track on a lone-tenant run: " << name;
+  }
+  obs::MetricsRegistry reg;
+  st.fs.export_counters(reg);
+  for (const auto& [scope, data] : reg.scopes()) {
+    EXPECT_EQ(scope.find("|job:"), std::string::npos) << scope;
+  }
 }
 
 // ---------------------------------------------------------------------------
