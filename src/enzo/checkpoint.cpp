@@ -17,10 +17,22 @@ constexpr std::uint64_t kMarkerMagic = 0x434b50542d4f4b21ULL;
 
 void CheckpointSeries::dump(mpi::Comm& comm, const SimulationState& state,
                             std::uint64_t gen) {
+  // At most one async drain in flight: settle the previous generation's
+  // before this dump's writes land on the staging tier.
+  if (staged_ != nullptr && drain_policy_ == stage::DrainPolicy::kAsync) {
+    staged_->drain_settle();
+    comm.barrier();
+  }
   backend_.write_dump(comm, state, gen_base(gen));
   // Every rank's data must be in the store before the marker can claim the
   // generation is complete.
   comm.barrier();
+  if (staged_ != nullptr && drain_policy_ == stage::DrainPolicy::kSync) {
+    // Sync: the marker additionally certifies destination durability, so
+    // every rank drains its staged bytes before rank 0 publishes.
+    staged_->drain_mine(stage::DrainPolicy::kSync);
+    comm.barrier();
+  }
   if (comm.rank() == 0) {
     ByteWriter w;
     w.u64(kMarkerMagic);
@@ -36,6 +48,11 @@ void CheckpointSeries::dump(mpi::Comm& comm, const SimulationState& state,
   }
   // No rank may report the dump done before the marker is published.
   comm.barrier();
+  if (staged_ != nullptr && drain_policy_ == stage::DrainPolicy::kAsync) {
+    // Async: kick the drain off on the shadow clock after the generation is
+    // committed; the work overlaps whatever compute follows.
+    staged_->drain_mine(stage::DrainPolicy::kAsync);
+  }
 }
 
 bool CheckpointSeries::committed(std::uint64_t gen) const {

@@ -27,6 +27,7 @@
 
 #include "enzo/io_backend.hpp"
 #include "pfs/filesystem.hpp"
+#include "stage/staged_fs.hpp"
 
 namespace paramrio::enzo {
 
@@ -42,6 +43,23 @@ class CheckpointSeries {
   }
   std::string marker_path(std::uint64_t gen) const {
     return gen_base(gen) + ".ok";
+  }
+
+  /// Route dumps through a burst-buffer staging tier (`staged` must be the
+  /// same object the series writes through).  The drain-policy hint shapes
+  /// when staged bytes reach the destination relative to the commit marker:
+  ///   kSync  — drain before the marker; the marker certifies the data files
+  ///            are destination-durable (the marker itself stays staged and
+  ///            is recovered by log replay).
+  ///   kAsync — drain after the final barrier on the shadow clock; the next
+  ///            dump settles the previous drain before writing.
+  ///   kLazy  — never drained by the series; recovery replays the staging
+  ///            tier.  Either way a committed generation is always
+  ///            recoverable: the staging log plus drained bytes reconstruct
+  ///            every committed file.
+  void set_staging(stage::StagedFs& staged, stage::DrainPolicy policy) {
+    staged_ = &staged;
+    drain_policy_ = policy;
   }
 
   /// Collective: write generation `gen` and, once every rank's data is
@@ -71,6 +89,8 @@ class CheckpointSeries {
   IoBackend& backend_;
   pfs::FileSystem& fs_;
   std::string base_;
+  stage::StagedFs* staged_ = nullptr;
+  stage::DrainPolicy drain_policy_ = stage::DrainPolicy::kLazy;
 };
 
 }  // namespace paramrio::enzo

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/profiler.hpp"
+#include "sim/engine.hpp"
+
 namespace paramrio::fault {
 
 double backoff_delay(const RetryPolicy& policy, int attempt) {
@@ -12,6 +15,14 @@ double backoff_delay(const RetryPolicy& policy, int attempt) {
     if (d >= policy.backoff_max) break;
   }
   return std::clamp(d, 0.0, policy.backoff_max);
+}
+
+double charge_backoff(const RetryPolicy& policy, int attempt, sim::Proc& proc) {
+  const double delay = backoff_delay(policy, attempt);
+  obs::record_wait(obs::WaitKind::kRetryBackoff, proc.now(),
+                   proc.now() + delay);
+  proc.advance(delay, sim::TimeCategory::kIo);
+  return delay;
 }
 
 std::string retry_key(const RetryPolicy& policy) {

@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+namespace paramrio::sim {
+class Proc;
+}
+
 namespace paramrio::fault {
 
 struct RetryPolicy {
@@ -38,6 +42,13 @@ struct RetryPolicy {
 /// backoff_max.  Pure: monotone non-decreasing in `attempt` for any policy
 /// with backoff_factor >= 1 — the property the retry tests pin down.
 double backoff_delay(const RetryPolicy& policy, int attempt);
+
+/// Charge the backoff before re-attempt `attempt` (0-based) to `proc`'s
+/// virtual clock as I/O time and record it as a retry-backoff wait for the
+/// blame engine.  Shared by every retry loop (pfs-level, mpi::io::File, the
+/// staging drain) so backoff accounting stays uniform.  Returns the delay
+/// charged.
+double charge_backoff(const RetryPolicy& policy, int attempt, sim::Proc& proc);
 
 /// One logged backoff: which retried operation (per-File serial) and how
 /// long it slept on the virtual clock.

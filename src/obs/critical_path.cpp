@@ -26,6 +26,8 @@ BlameCategory blame_of(WaitKind kind) {
       return BlameCategory::kRetryBackoff;
     case WaitKind::kSettleWait:
       return BlameCategory::kSettleWait;
+    case WaitKind::kDrainWait:
+      return BlameCategory::kStageDrain;
   }
   return BlameCategory::kUnattributed;
 }
@@ -88,6 +90,8 @@ const char* to_string(BlameCategory cat) {
       return "retry_backoff";
     case BlameCategory::kSettleWait:
       return "settle_wait";
+    case BlameCategory::kStageDrain:
+      return "stage.drain";
     case BlameCategory::kUnattributed:
       return "unattributed";
   }

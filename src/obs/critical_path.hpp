@@ -47,10 +47,11 @@ enum class BlameCategory : int {
   kTokenWait = 5,
   kRetryBackoff = 6,
   kSettleWait = 7,
-  kUnattributed = 8,
+  kStageDrain = 8,  ///< blocked on the burst-buffer drain (sync or settle)
+  kUnattributed = 9,
 };
 
-constexpr int kBlameCategories = 9;
+constexpr int kBlameCategories = 10;
 
 const char* to_string(BlameCategory cat);
 

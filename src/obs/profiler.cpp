@@ -36,6 +36,8 @@ const char* to_string(WaitKind kind) {
       return "retry_backoff";
     case WaitKind::kSettleWait:
       return "settle_wait";
+    case WaitKind::kDrainWait:
+      return "drain_wait";
   }
   return "?";
 }

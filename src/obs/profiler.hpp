@@ -85,6 +85,7 @@ enum class WaitKind : int {
   kTokenWait = 2,    ///< GPFS-style write-token acquisition
   kRetryBackoff = 3, ///< fault-retry exponential backoff on the virtual clock
   kSettleWait = 4,   ///< deferred (in-flight) I/O settling at a sync point
+  kDrainWait = 5,    ///< staging-tier drain completion blocking the caller
 };
 
 const char* to_string(WaitKind kind);

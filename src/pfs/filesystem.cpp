@@ -10,11 +10,13 @@ namespace paramrio::pfs {
 
 int FileSystem::open(const std::string& path, OpenMode mode) {
   if (mode == OpenMode::kCreate) {
+    const bool truncating = store_.exists(path);
     store_.create(path);
     // Truncation invalidates any cached pages of a previous file generation
     // at this path (same stale-cache hazard as remove()).
     cache_.erase(path);
     ++cache_gen_;
+    if (truncating) on_truncate(path);
   } else if (!store_.exists(path)) {
     throw IoError("open(" + path + "): no such file on " + name());
   }
@@ -69,13 +71,9 @@ std::uint64_t FileSystem::read_at(int fd, std::uint64_t offset,
       done += read_attempt(f, fd, offset + done, out.subspan(done));
     } catch (const TransientIoError&) {
       if (attempt >= retry_.max_retries) throw;
-      const double delay = fault::backoff_delay(retry_, attempt);
+      fault::charge_backoff(retry_, attempt, sim::current_proc());
       ++attempt;
       fs_retries_ += 1;
-      sim::Proc& proc = sim::current_proc();
-      obs::record_wait(obs::WaitKind::kRetryBackoff, proc.now(),
-                       proc.now() + delay);
-      proc.advance(delay, sim::TimeCategory::kIo);
       continue;
     }
     if (done >= out.size()) return done;
@@ -156,6 +154,7 @@ std::uint64_t FileSystem::write_at(int fd, std::uint64_t offset,
   if (!f.writable) throw IoError("write to read-only descriptor: " + f.path);
   if (!sim::in_simulation()) {  // untimed setup access
     store_.write_at(f.path, offset, data);
+    on_untimed_write(f.path, offset, data);
     return data.size();
   }
   std::uint64_t done = 0;
@@ -165,13 +164,9 @@ std::uint64_t FileSystem::write_at(int fd, std::uint64_t offset,
       done += write_attempt(f, fd, offset + done, data.subspan(done));
     } catch (const TransientIoError&) {
       if (attempt >= retry_.max_retries) throw;
-      const double delay = fault::backoff_delay(retry_, attempt);
+      fault::charge_backoff(retry_, attempt, sim::current_proc());
       ++attempt;
       fs_retries_ += 1;
-      sim::Proc& proc = sim::current_proc();
-      obs::record_wait(obs::WaitKind::kRetryBackoff, proc.now(),
-                       proc.now() + delay);
-      proc.advance(delay, sim::TimeCategory::kIo);
       continue;
     }
     if (done >= data.size()) return done;

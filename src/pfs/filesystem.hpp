@@ -87,6 +87,7 @@ class FileSystem {
   void remove(const std::string& path) {
     cache_.erase(path);
     ++cache_gen_;  // open descriptors re-resolve their interval-map pointer
+    on_remove(path);
     store_.remove(path);
   }
 
@@ -184,6 +185,21 @@ class FileSystem {
   virtual void charge(sim::Proc& proc, const std::string& path,
                       std::uint64_t offset, std::uint64_t bytes,
                       bool is_write) = 0;
+
+  /// Notification hooks for namespace events the non-virtual fast path
+  /// handles in the base class.  Subclasses that keep *per-path* model state
+  /// outside the base buffer cache (LocalDiskFs ownership + page caches, the
+  /// staging tier's extent map) override these to drop it, so a file
+  /// re-created at the same path cannot observe state from its previous
+  /// generation.  on_remove fires from remove(); on_truncate from
+  /// open(kCreate) over an existing path; on_untimed_write from the untimed
+  /// (outside-simulation) write_at path after the bytes land in the store.
+  virtual void on_remove(const std::string& path) { (void)path; }
+  virtual void on_truncate(const std::string& path) { (void)path; }
+  virtual void on_untimed_write(const std::string& path, std::uint64_t offset,
+                                std::span<const std::byte> data) {
+    (void)path, (void)offset, (void)data;
+  }
 
  private:
   /// Merged resident intervals per file (offset -> end).

@@ -40,7 +40,7 @@ void LocalDiskFs::charge(sim::Proc& proc, const std::string& path,
   const double issue = proc.now();
   double qw = 0.0;
   double done = d.serve(issue, path, offset, bytes, is_write, 0.0, -1, 1.0,
-                        detail ? &qw : nullptr);
+                        detail ? &qw : nullptr, proc.background_io());
   if (detail) {
     obs::gauge_int("ioserver:" + name() + "/" + std::to_string(client) +
                        "/requests",
@@ -50,6 +50,11 @@ void LocalDiskFs::charge(sim::Proc& proc, const std::string& path,
     }
   }
   proc.clock_at_least(done, sim::TimeCategory::kIo);
+}
+
+void LocalDiskFs::forget_path(const std::string& path) {
+  owners_.erase(path);
+  for (auto& per_rank : page_cache_) per_rank.erase(path);
 }
 
 bool LocalDiskFs::covered(const Ranges& iv, std::uint64_t off,

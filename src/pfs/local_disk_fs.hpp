@@ -58,6 +58,14 @@ class LocalDiskFs final : public FileSystem {
   void charge(sim::Proc& proc, const std::string& path, std::uint64_t offset,
               std::uint64_t bytes, bool is_write) override;
 
+  /// remove()/kCreate truncation must drop this model's *own* per-path state
+  /// — write ownership and per-rank page caches — not just the base buffer
+  /// cache, or a file re-created at the same path inherits the previous
+  /// generation's owners (suppressing remote_reads) and sees stale page-cache
+  /// hits for bytes the new file never wrote.
+  void on_remove(const std::string& path) override { forget_path(path); }
+  void on_truncate(const std::string& path) override { forget_path(path); }
+
  private:
   using Ranges = std::map<std::uint64_t, std::uint64_t>;  // off -> end
   static bool covered(const Ranges& iv, std::uint64_t off, std::uint64_t len);
@@ -71,6 +79,7 @@ class LocalDiskFs final : public FileSystem {
                        std::uint64_t bytes, int rank) const;
   void record_write(Ownership& own, std::uint64_t offset, std::uint64_t bytes,
                     int rank);
+  void forget_path(const std::string& path);
 
   LocalDiskFsParams params_;
   std::vector<stor::IoServer> disks_;

@@ -31,6 +31,18 @@ void StripedFs::export_counters(obs::MetricsRegistry& reg) const {
   const std::string scope = "fs:" + name();
   reg.add(scope, "server_requests", total_server_requests());
   reg.add(scope, "write_token_transfers", token_transfers_);
+  // Drain/housekeeping traffic; nonzero-only so exports from runs without a
+  // staging tier stay byte-identical to previous releases.
+  std::uint64_t bg_bytes = 0;
+  std::uint64_t bg_requests = 0;
+  for (const auto& s : servers_) {
+    bg_bytes += s.background_bytes();
+    bg_requests += s.background_requests();
+  }
+  if (bg_requests > 0) {
+    reg.add(scope, "background_requests", bg_requests);
+    reg.add(scope, "background_bytes", bg_bytes);
+  }
   // Per-tenant device shares aggregated over all I/O nodes; emitted only for
   // genuinely multi-job runs so single-job exports stay byte-identical.
   std::map<int, std::uint64_t> job_requests;
@@ -168,8 +180,8 @@ void StripedFs::charge(sim::Proc& proc, const std::string& path,
         }
         const double completion =
             srv.serve(t, path, c.server_offset, c.length, is_write, 0.0,
-                      proc.job(), proc.job_weight(),
-                      detail ? &srv_wait : nullptr);
+                      proc.job(), proc.io_weight(),
+                      detail ? &srv_wait : nullptr, proc.background_io());
         if (detail) {
           const std::string server_track =
               "ioserver:" + name() + "/" + std::to_string(c.server);

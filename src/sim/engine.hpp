@@ -176,6 +176,29 @@ class Proc {
   /// True while inside a begin_deferred()/end_deferred() region.
   bool deferred() const { return deferred_; }
 
+  // ---- background I/O --------------------------------------------------
+  //
+  // A proc doing housekeeping traffic (the staging tier's drain) marks
+  // itself background so shared I/O servers can de-prioritise it: its
+  // effective fair-share weight is job_weight() scaled down by `scale`, and
+  // servers count its bytes separately.  A lone tenant at a server is still
+  // served stretch-free, so single-job runs without a drain stay
+  // byte-identical.
+
+  /// Enter background-I/O mode with fair-share weight scaled by `scale`
+  /// (0 < scale <= 1; smaller = politer).  Not nestable.
+  void set_background_io(double scale) {
+    io_weight_scale_ = scale;
+    background_io_ = true;
+  }
+  void clear_background_io() {
+    io_weight_scale_ = 1.0;
+    background_io_ = false;
+  }
+  bool background_io() const { return background_io_; }
+  /// Effective fair-share weight at shared I/O servers.
+  double io_weight() const { return job_weight_ * io_weight_scale_; }
+
   ProcStats& stats() { return stats_; }
   const ProcStats& stats() const { return stats_; }
 
@@ -198,6 +221,8 @@ class Proc {
   double clock_ = 0.0;
   double shadow_clock_ = 0.0;  ///< in-flight time while deferred_
   bool deferred_ = false;
+  double io_weight_scale_ = 1.0;  ///< fair-share scale while background
+  bool background_io_ = false;
   ProcStats stats_;
   Rng rng_;
 };

@@ -63,10 +63,14 @@ class IoServer {
   /// `queue_wait`, when non-null, receives the time the request spent
   /// queued behind other work (completion - start - service; under
   /// fair-share this includes the stretch charged for competing tenants).
+  /// `background` marks housekeeping traffic (the staging tier's drain):
+  /// it only affects the server's background counters — priority is already
+  /// expressed through `weight` (callers pass sim::Proc::io_weight()), so
+  /// timing for non-background requests is untouched.
   double serve(double start, const std::string& object, std::uint64_t offset,
                std::uint64_t bytes, bool is_write = false,
                double extra_service = 0.0, int job = -1, double weight = 1.0,
-               double* queue_wait = nullptr) {
+               double* queue_wait = nullptr, bool background = false) {
     double service = params_.request_overhead + extra_service +
                      static_cast<double>(bytes) / params_.bandwidth;
     if (object == last_object_ && offset == last_end_) {
@@ -83,6 +87,10 @@ class IoServer {
     last_end_ = offset + bytes;
     requests_ += 1;
     bytes_moved_ += bytes;
+    if (background) {
+      background_requests_ += 1;
+      background_bytes_ += bytes;
+    }
     if (job < 0) {
       const double completion = busy_.acquire(start, service);
       if (queue_wait != nullptr) *queue_wait = completion - start - service;
@@ -110,6 +118,9 @@ class IoServer {
   double next_free() const { return busy_.next_free(); }
   std::uint64_t requests() const { return requests_; }
   std::uint64_t bytes_moved() const { return bytes_moved_; }
+  /// Housekeeping traffic (drain migrations) served so far.
+  std::uint64_t background_requests() const { return background_requests_; }
+  std::uint64_t background_bytes() const { return background_bytes_; }
   const DiskParams& params() const { return params_; }
 
   /// Per-job device shares seen so far (empty unless fair-share requests
@@ -122,6 +133,8 @@ class IoServer {
     last_end_ = 0;
     requests_ = 0;
     bytes_moved_ = 0;
+    background_requests_ = 0;
+    background_bytes_ = 0;
     shares_.clear();
   }
 
@@ -132,6 +145,8 @@ class IoServer {
   std::uint64_t last_end_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t bytes_moved_ = 0;
+  std::uint64_t background_requests_ = 0;
+  std::uint64_t background_bytes_ = 0;
   std::map<int, JobShare> shares_;
 };
 

@@ -348,6 +348,47 @@ TEST(LocalDiskFs, RemoteReadDetection) {
   EXPECT_EQ(fs.remote_reads(), 1u);
 }
 
+// Regression (companion to LocalFs.RemoveDropsCachedIntervals): remove()
+// used to clear only the base buffer cache, leaving LocalDiskFs's own
+// per-path state — write ownership and per-rank page caches — behind.  A
+// file re-created at the same path then inherited the previous generation's
+// owners, so reads of zero-fill the new file never wrote looked node-local
+// (suppressing remote_reads) and were even served from the stale page cache.
+TEST(LocalDiskFs, RemoveDropsOwnershipAndPageCache) {
+  pfs::LocalDiskFs fs(pfs::LocalDiskFsParams{}, 1);
+  Engine::run(opts(1), [&](Proc&) {
+    int fd = fs.open("f", OpenMode::kCreate);
+    fs.write_at(fd, 0, pattern(4096));  // rank 0 owns + caches [0, 4096)
+    fs.close(fd);
+    fs.remove("f");
+
+    int fd2 = fs.open("f", OpenMode::kCreate);
+    fs.write_at(fd2, 4096, pattern(100));  // zero-fills [0, 4096), unowned
+    std::vector<std::byte> out(2048);
+    fs.read_at(fd2, 0, out);  // bytes the new file never wrote
+    fs.close(fd2);
+  });
+  // The range is unowned in the new file's generation, so the read must
+  // count as remote — stale ownership would have made it look local.
+  EXPECT_EQ(fs.remote_reads(), 1u);
+}
+
+// The same stale-state hazard via open(kCreate) truncation.
+TEST(LocalDiskFs, CreateTruncationDropsOwnershipAndPageCache) {
+  pfs::LocalDiskFs fs(pfs::LocalDiskFsParams{}, 1);
+  Engine::run(opts(1), [&](Proc&) {
+    int fd = fs.open("f", OpenMode::kCreate);
+    fs.write_at(fd, 0, pattern(4096));
+    fs.close(fd);
+    int fd2 = fs.open("f", OpenMode::kCreate);  // truncates
+    fs.write_at(fd2, 4096, pattern(100));
+    std::vector<std::byte> out(2048);
+    fs.read_at(fd2, 0, out);
+    fs.close(fd2);
+  });
+  EXPECT_EQ(fs.remote_reads(), 1u);
+}
+
 TEST(LocalDiskFs, OwnershipSplitsOnOverwrite) {
   pfs::LocalDiskFs fs(pfs::LocalDiskFsParams{}, 2);
   int fd = fs.open("f", OpenMode::kCreate);  // outside the sim: untimed
