@@ -2,48 +2,72 @@
 // "The output files from the checkpoint data dump are used either for
 // restarting a resumed simulation or for visualization."
 //
-// A visualization client rarely wants the whole volume: this example dumps
-// a simulation, then extracts (a) a single z-slice of the density field and
-// (b) a 4x-downsampled volume, using strided hyperslab reads through the
-// HDF5-analogue — the read pattern the recursive-packing overhead punishes.
+// A visualization client rarely wants the whole volume.  This example dumps
+// one committed generation of a checkpoint series, then serves it through
+// query::Service — the read-path layer that plans sub-volume requests into
+// coalesced byte runs, sieves them into shared-cache blocks, and answers
+// particle/metadata queries from the generation index:
+//
+//   (a) every rank pulls the same centre z-slice of the density field
+//       concurrently (the hot region: one physical fetch set, N-1 cache
+//       serves);
+//   (b) rank 0 extracts an interior octant and a particle ID range;
+//   (c) the per-request plan/cache report and the service counters show
+//       what the reads actually cost.
 //
 //   $ ./examples/visualization_extract
 #include <cstdio>
-#include <cstring>
 
 #include "enzo/backends.hpp"
+#include "enzo/checkpoint.hpp"
 #include "enzo/simulation.hpp"
+#include "mdms/catalog.hpp"
 #include "platform/machine.hpp"
+#include "query/service.hpp"
 
 using namespace paramrio;
 
 int main() {
-  platform::Machine machine = platform::origin2000_xfs();
-  platform::Testbed testbed(machine, 8);
+  platform::Machine machine = platform::chiba_pvfs_myrinet();
+  constexpr int kProcs = 8;
+  platform::Testbed testbed(machine, kProcs);
 
   enzo::SimulationConfig config;
   config.root_dims = {64, 64, 64};
+  config.particles_per_cell = 0.25;
+
+  // The index built for generation 0 is registered here; a later session
+  // (or tool) can attach the same catalog and skip the re-inspection.
+  mdms::Catalog catalog;
+
+  query::Service::Params params;
+  params.hints.ds_buffer_size = 64 * KiB;  // sieve blocks = one PVFS stripe
+  params.hints.overlap = true;             // prefetch the next block
+  query::Service service(testbed.fs(), "viz", params);
+  service.attach_catalog(&catalog);
 
   testbed.runtime().run([&](mpi::Comm& comm) {
     enzo::Hdf5ParallelBackend backend(testbed.fs());
     enzo::EnzoSimulation sim(comm, config);
     sim.initialize_from_universe();
     sim.evolve_cycle();
-    backend.write_dump(comm, sim.state(), "viz");
+    enzo::CheckpointSeries series(backend, testbed.fs(), "viz");
+    series.dump(comm, sim.state(), 0);
+    comm.barrier();
+    if (comm.rank() == 0) testbed.fs().drop_caches();  // cold readers
+    comm.barrier();
 
-    if (comm.rank() != 0) return;  // the viz client is a single process
-
-    testbed.fs().drop_caches();
-    hdf5::H5File file = hdf5::H5File::open(testbed.fs(), "viz.h5");
-    hdf5::Dataset density = file.open_dataset("topgrid/density");
     const auto n = config.root_dims[0];
 
-    // (a) one z-slice through the volume's centre.
+    // (a) the hot region: every rank wants the same centre z-slice.
+    query::SubVolumeRequest slice;
+    slice.grid_id = 0;
+    slice.field = "density";
+    slice.start = {n / 2, 0, 0};
+    slice.count = {1, n, n};
+    query::ExtractPlan slice_plan;
     double t0 = comm.proc().now();
-    hdf5::Dataspace slice({n, n, n});
-    slice.select_block({n / 2, 0, 0}, {1, n, n});
-    std::vector<std::byte> plane(n * n * 4);
-    density.read(slice, plane, /*collective=*/false);
+    std::vector<float> plane = service.extract(0, slice, &slice_plan);
     double slice_time = comm.proc().now() - t0;
 
     // Where is the densest cell of the slice?
@@ -51,8 +75,7 @@ int main() {
     std::uint64_t peak_y = 0, peak_x = 0;
     for (std::uint64_t y = 0; y < n; ++y) {
       for (std::uint64_t x = 0; x < n; ++x) {
-        float v;
-        std::memcpy(&v, plane.data() + (y * n + x) * 4, 4);
+        float v = plane[y * n + x];
         if (v > peak) {
           peak = v;
           peak_y = y;
@@ -60,30 +83,63 @@ int main() {
         }
       }
     }
+    comm.barrier();
 
-    // (b) every 4th cell in each dimension: a 16^3 preview volume.
+    if (comm.rank() != 0) return;  // the rest is the one analysis client
+
+    // (b) an interior octant plus a particle ID range.
+    query::SubVolumeRequest octant;
+    octant.grid_id = 0;
+    octant.field = "density";
+    octant.start = {n / 2, n / 2, n / 2};
+    octant.count = {n / 2, n / 2, n / 2};
+    query::ExtractPlan octant_plan;
     t0 = comm.proc().now();
-    hdf5::Dataspace coarse({n, n, n});
-    coarse.select_hyperslab({hdf5::HyperslabDim{0, 4, n / 4, 1},
-                             hdf5::HyperslabDim{0, 4, n / 4, 1},
-                             hdf5::HyperslabDim{0, 4, n / 4, 1}});
-    std::vector<std::byte> preview(coarse.selected_elements() * 4);
-    density.read(coarse, preview, /*collective=*/false);
-    double preview_time = comm.proc().now() - t0;
+    std::vector<float> corner = service.extract(0, octant, &octant_plan);
+    double octant_time = comm.proc().now() - t0;
 
-    std::printf("visualization extraction from a %llu^3 HDF5 dump:\n",
-                static_cast<unsigned long long>(n));
-    std::printf("  centre z-slice (%llu KB) : %.3f virtual s\n",
-                static_cast<unsigned long long>(plane.size() / 1024),
-                slice_time);
-    std::printf("  4x-downsampled volume    : %.3f virtual s "
-                "(strided: %zu noncontiguous runs)\n",
-                preview_time, coarse.runs().size());
+    const query::GenerationIndex& ix = service.open_generation(0);
+    query::ExtractPlan pplan;
+    amr::ParticleSet tracked =
+        service.particles(0, ix.id_min, ix.id_min + 999, &pplan);
+
+    const enzo::DumpMeta& meta = service.metadata(0);
+
+    std::printf("visualization extraction from a %llu^3 dump via "
+                "query::Service on %s:\n",
+                static_cast<unsigned long long>(n), machine.name.c_str());
+    std::printf("  generation 0: cycle %llu, t=%.4f, %llu grids, %llu "
+                "particles\n",
+                static_cast<unsigned long long>(meta.cycle), meta.time,
+                static_cast<unsigned long long>(
+                    meta.hierarchy.grid_count()),
+                static_cast<unsigned long long>(meta.n_particles));
+    std::printf("  centre z-slice x%d readers : %.3f virtual s (this rank)\n",
+                kProcs, slice_time);
+    std::printf("%s", query::format_plan(slice_plan).c_str());
+    std::printf("  interior octant            : %.3f virtual s\n",
+                octant_time);
+    std::printf("%s", query::format_plan(octant_plan).c_str());
+    std::printf("  particles [%llu, %llu]       : %zu found\n",
+                static_cast<unsigned long long>(ix.id_min),
+                static_cast<unsigned long long>(ix.id_min + 999),
+                tracked.size());
+    std::printf("%s", query::format_plan(pplan).c_str());
     std::printf("  densest slice cell: rho=%.2f at (y=%llu, x=%llu)\n", peak,
                 static_cast<unsigned long long>(peak_y),
                 static_cast<unsigned long long>(peak_x));
-    density.close();
-    file.close();
+    std::printf("service totals: %llu demand fetch(es), %llu prefetch(es), "
+                "%llu cache hit(s), %llu shared wait(s), %.1f MB fetched "
+                "for %.1f MB served\n",
+                static_cast<unsigned long long>(service.demand_fetches()),
+                static_cast<unsigned long long>(service.prefetches()),
+                static_cast<unsigned long long>(service.cache().hits()),
+                static_cast<unsigned long long>(
+                    service.shared_fetch_waits()),
+                static_cast<double>(service.fetched_bytes()) / 1.0e6,
+                static_cast<double>(service.payload_bytes()) / 1.0e6);
+    std::printf("catalog: %zu generation index(es) registered for 'viz'\n",
+                catalog.series_generations("viz").size());
   });
   return 0;
 }

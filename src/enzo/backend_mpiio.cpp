@@ -9,50 +9,20 @@
 #include "amr/particles_par.hpp"
 #include "enzo/backends.hpp"
 #include "enzo/dump_common.hpp"
+#include "enzo/mpiio_layout.hpp"
 #include "obs/profiler.hpp"
 
 namespace paramrio::enzo {
 
 namespace {
 
-constexpr std::uint64_t kDumpMagic = 0x4F5A4E45504D5244ULL;  // "DRMPENZO"
+constexpr std::uint64_t kDumpMagic = kMpiioDumpMagic;
 
-/// Byte layout of the shared dump file, computable identically on every
-/// rank from the metadata alone.
-struct SharedLayout {
-  std::uint64_t meta_bytes = 0;
-  std::uint64_t topgrid_fields = 0;  ///< start of the 8 field datasets
-  std::uint64_t field_bytes = 0;     ///< bytes per top-grid field
-  std::array<std::uint64_t, kNumParticleArrays> particle_off{};
-  std::map<std::uint64_t, std::uint64_t> subgrid_off;  ///< grid id -> start
-  std::uint64_t total = 0;
-
-  std::uint64_t field_off(int f) const {
-    return topgrid_fields + static_cast<std::uint64_t>(f) * field_bytes;
-  }
-};
+using SharedLayout = MpiioSharedLayout;
 
 SharedLayout build_layout(const DumpMeta& meta,
                           const std::array<std::uint64_t, 3>& root_dims) {
-  SharedLayout l;
-  l.meta_bytes = meta.serialize().size();
-  l.topgrid_fields = 16 + l.meta_bytes;
-  l.field_bytes = root_dims[0] * root_dims[1] * root_dims[2] * sizeof(float);
-  std::uint64_t pos =
-      l.topgrid_fields +
-      static_cast<std::uint64_t>(amr::kNumBaryonFields) * l.field_bytes;
-  for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
-    l.particle_off[a] = pos;
-    pos += kParticleArrays[a].elem_size * meta.n_particles;
-  }
-  for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
-    if (g.level == 0) continue;
-    l.subgrid_off[g.id] = pos;
-    pos += static_cast<std::uint64_t>(amr::kNumBaryonFields) *
-           g.cell_count() * sizeof(float);
-  }
-  l.total = pos;
-  return l;
+  return build_mpiio_layout(meta, root_dims);
 }
 
 mpi::Datatype block_subarray(const std::array<std::uint64_t, 3>& dims,

@@ -4,6 +4,7 @@
 
 #include "hdf4/sd_file.hpp"
 #include "hdf5/h5_file.hpp"
+#include "pnetcdf/nc_file.hpp"
 
 namespace paramrio::enzo {
 
@@ -17,6 +18,8 @@ std::string to_string(DumpFormat f) {
       return "mpi-io (single shared file)";
     case DumpFormat::kHdf5:
       return "hdf5 (single shared file)";
+    case DumpFormat::kPnetcdf:
+      return "pnetcdf (single shared file)";
   }
   throw LogicError("bad DumpFormat");
 }
@@ -24,6 +27,7 @@ std::string to_string(DumpFormat f) {
 DumpFormat detect_dump_format(pfs::FileSystem& fs, const std::string& base) {
   if (fs.exists(base + ".enzo")) return DumpFormat::kMpiIo;
   if (fs.exists(base + ".h5")) return DumpFormat::kHdf5;
+  if (fs.exists(base + ".nc")) return DumpFormat::kPnetcdf;
   if (fs.exists(base + ".topgrid")) return DumpFormat::kHdf4;
   return DumpFormat::kUnknown;
 }
@@ -101,6 +105,22 @@ DumpSummary inspect_hdf5(pfs::FileSystem& fs, const std::string& base) {
   return s;
 }
 
+DumpSummary inspect_pnetcdf(pfs::FileSystem& fs, const std::string& base) {
+  DumpSummary s;
+  s.format = DumpFormat::kPnetcdf;
+  const std::string path = base + ".nc";
+  pnetcdf::NcHeader h = pnetcdf::read_nc_header(fs, path);
+  auto it = h.atts.find("metadata");
+  if (it == h.atts.end()) {
+    throw FormatError(path + ": missing metadata attribute");
+  }
+  s.meta = DumpMeta::deserialize(it->second);
+  s.datasets = h.vars.size();
+  s.files = 1;
+  s.total_bytes = fs.store().size(path);
+  return s;
+}
+
 }  // namespace
 
 DumpSummary inspect_dump(pfs::FileSystem& fs, const std::string& base) {
@@ -115,6 +135,9 @@ DumpSummary inspect_dump(pfs::FileSystem& fs, const std::string& base) {
       break;
     case DumpFormat::kHdf5:
       s = inspect_hdf5(fs, base);
+      break;
+    case DumpFormat::kPnetcdf:
+      s = inspect_pnetcdf(fs, base);
       break;
     case DumpFormat::kUnknown:
       throw IoError("no dump found under base name '" + base + "'");

@@ -10,7 +10,7 @@
 
 namespace paramrio::enzo {
 
-enum class DumpFormat { kUnknown, kHdf4, kMpiIo, kHdf5 };
+enum class DumpFormat { kUnknown, kHdf4, kMpiIo, kHdf5, kPnetcdf };
 
 std::string to_string(DumpFormat f);
 

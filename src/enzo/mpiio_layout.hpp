@@ -1,0 +1,54 @@
+// Byte layout of the shared MPI-IO dump file (`<base>.enzo`), computable
+// identically on every rank from the dump metadata alone.  Shared between
+// the MPI-IO backend (which writes/reads with it collectively) and the
+// query index (which turns it into per-field extents for random access).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "amr/grid.hpp"
+#include "enzo/dump_common.hpp"
+
+namespace paramrio::enzo {
+
+constexpr std::uint64_t kMpiioDumpMagic = 0x4F5A4E45504D5244ULL;  // "DRMPENZO"
+
+struct MpiioSharedLayout {
+  std::uint64_t meta_bytes = 0;
+  std::uint64_t topgrid_fields = 0;  ///< start of the 8 field datasets
+  std::uint64_t field_bytes = 0;     ///< bytes per top-grid field
+  std::array<std::uint64_t, kNumParticleArrays> particle_off{};
+  std::map<std::uint64_t, std::uint64_t> subgrid_off;  ///< grid id -> start
+  std::uint64_t total = 0;
+
+  std::uint64_t field_off(int f) const {
+    return topgrid_fields + static_cast<std::uint64_t>(f) * field_bytes;
+  }
+};
+
+inline MpiioSharedLayout build_mpiio_layout(
+    const DumpMeta& meta, const std::array<std::uint64_t, 3>& root_dims) {
+  MpiioSharedLayout l;
+  l.meta_bytes = meta.serialize().size();
+  l.topgrid_fields = 16 + l.meta_bytes;
+  l.field_bytes = root_dims[0] * root_dims[1] * root_dims[2] * sizeof(float);
+  std::uint64_t pos =
+      l.topgrid_fields +
+      static_cast<std::uint64_t>(amr::kNumBaryonFields) * l.field_bytes;
+  for (std::size_t a = 0; a < kNumParticleArrays; ++a) {
+    l.particle_off[a] = pos;
+    pos += kParticleArrays[a].elem_size * meta.n_particles;
+  }
+  for (const amr::GridDescriptor& g : meta.hierarchy.grids()) {
+    if (g.level == 0) continue;
+    l.subgrid_off[g.id] = pos;
+    pos += static_cast<std::uint64_t>(amr::kNumBaryonFields) *
+           g.cell_count() * sizeof(float);
+  }
+  l.total = pos;
+  return l;
+}
+
+}  // namespace paramrio::enzo

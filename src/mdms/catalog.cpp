@@ -121,9 +121,50 @@ void Catalog::learn_from_trace(const trace::IoTracer& tracer) {
   }
 }
 
+void Catalog::put_series_index(const std::string& series, std::uint64_t gen,
+                               std::vector<std::byte> blob) {
+  SeriesEntry& e = series_[series][gen];
+  e.blob = std::move(blob);
+  e.tombstone = false;
+}
+
+const std::vector<std::byte>* Catalog::series_index(const std::string& series,
+                                                    std::uint64_t gen) const {
+  auto sit = series_.find(series);
+  if (sit == series_.end()) return nullptr;
+  auto git = sit->second.find(gen);
+  if (git == sit->second.end() || git->second.tombstone) return nullptr;
+  return &git->second.blob;
+}
+
+void Catalog::drop_series_index(const std::string& series,
+                                std::uint64_t gen) {
+  SeriesEntry& e = series_[series][gen];
+  e.blob.clear();
+  e.tombstone = true;
+}
+
+std::vector<std::uint64_t> Catalog::series_generations(
+    const std::string& series) const {
+  std::vector<std::uint64_t> out;
+  auto sit = series_.find(series);
+  if (sit == series_.end()) return out;
+  for (const auto& [gen, e] : sit->second) {
+    if (!e.tombstone) out.push_back(gen);
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint32_t kMagicV1 = 0x534D444D;  // "MDMS" (records only)
+constexpr std::uint32_t kMagicV2 = 0x324D444D;  // "MDM2" (versioned)
+constexpr std::uint32_t kVersion = 2;
+}  // namespace
+
 void Catalog::save(pfs::FileSystem& fs, const std::string& path) const {
   ByteWriter w;
-  w.u32(0x534D444D);  // "MDMS"
+  w.u32(kMagicV2);
+  w.u32(kVersion);
   w.u64(records_.size());
   for (const std::string& name : names()) {
     const DatasetRecord& r = records_.at(name);
@@ -139,6 +180,17 @@ void Catalog::save(pfs::FileSystem& fs, const std::string& path) const {
     w.u64(r.typical_request);
     w.u32(r.writer_count);
   }
+  w.u64(series_.size());
+  for (const auto& [series, gens] : series_) {
+    w.str(series);
+    w.u64(gens.size());
+    for (const auto& [gen, e] : gens) {
+      w.u64(gen);
+      w.u8(e.tombstone ? 1 : 0);
+      w.u64(e.blob.size());
+      w.bytes(e.blob);
+    }
+  }
   auto bytes = w.take();
   int fd = fs.open(path, pfs::OpenMode::kCreate);
   fs.write_at(fd, 0, bytes);
@@ -152,7 +204,17 @@ Catalog Catalog::load(pfs::FileSystem& fs, const std::string& path) {
   fs.close(fd);
 
   ByteReader r(bytes);
-  if (r.u32() != 0x534D444D) throw FormatError(path + ": not an MDMS catalog");
+  std::uint32_t magic = r.u32();
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw FormatError(path + ": not an MDMS catalog");
+  }
+  if (magic == kMagicV2) {
+    std::uint32_t version = r.u32();
+    if (version != kVersion) {
+      throw FormatError(path + ": unsupported MDMS catalog version " +
+                        std::to_string(version));
+    }
+  }
   Catalog c;
   std::uint64_t n = r.u64();
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -170,6 +232,23 @@ Catalog Catalog::load(pfs::FileSystem& fs, const std::string& path) {
     rec.writer_count = r.u32();
     c.next_order_ = std::max(c.next_order_, rec.access_order + 1);
     c.records_[rec.name] = std::move(rec);
+  }
+  if (magic == kMagicV2) {
+    std::uint64_t ns = r.u64();
+    for (std::uint64_t s = 0; s < ns; ++s) {
+      std::string series = r.str();
+      std::uint64_t ng = r.u64();
+      auto& gens = c.series_[series];
+      for (std::uint64_t g = 0; g < ng; ++g) {
+        std::uint64_t gen = r.u64();
+        SeriesEntry e;
+        e.tombstone = r.u8() != 0;
+        std::uint64_t blob_bytes = r.u64();
+        auto span = r.bytes(blob_bytes);
+        e.blob.assign(span.begin(), span.end());
+        gens[gen] = std::move(e);
+      }
+    }
   }
   return c;
 }

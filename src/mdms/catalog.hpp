@@ -95,15 +95,45 @@ class Catalog {
   /// its pattern is classified from the request stream.
   void learn_from_trace(const trace::IoTracer& tracer);
 
-  /// Persist the catalog into a file on `fs` / load it back.
+  // ---- series indexes (the query tier's per-generation extent maps) ----
+
+  /// Register (or replace) the serialized query index for one generation
+  /// of a checkpoint series.  Clears any tombstone for that generation.
+  void put_series_index(const std::string& series, std::uint64_t gen,
+                        std::vector<std::byte> blob);
+
+  /// The stored index blob, or nullptr when the generation is unknown or
+  /// tombstoned (callers then rebuild from the dump).
+  const std::vector<std::byte>* series_index(const std::string& series,
+                                             std::uint64_t gen) const;
+
+  /// Tombstone a generation's index (e.g. the dump was pruned).  The
+  /// tombstone persists through save/load so a stale blob from an older
+  /// catalog file can never resurrect it.
+  void drop_series_index(const std::string& series, std::uint64_t gen);
+
+  /// Generations with a live (non-tombstoned) index, ascending.
+  std::vector<std::uint64_t> series_generations(
+      const std::string& series) const;
+
+  /// Persist the catalog into a file on `fs` / load it back.  Saves use
+  /// the versioned "MDM2" header (records + series indexes + tombstones);
+  /// load also accepts the original version-less "MDMS" records-only
+  /// format.
   void save(pfs::FileSystem& fs, const std::string& path) const;
   static Catalog load(pfs::FileSystem& fs, const std::string& path);
 
   std::size_t size() const { return records_.size(); }
 
  private:
+  struct SeriesEntry {
+    std::vector<std::byte> blob;
+    bool tombstone = false;
+  };
+
   std::map<std::string, DatasetRecord> records_;
   std::map<std::string, std::vector<int>> writers_seen_;
+  std::map<std::string, std::map<std::uint64_t, SeriesEntry>> series_;
   std::uint32_t next_order_ = 0;
 };
 

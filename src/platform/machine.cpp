@@ -86,6 +86,25 @@ Machine chiba_pvfs_ethernet() {
   return m;
 }
 
+Machine chiba_pvfs_myrinet() {
+  Machine m = chiba_pvfs_ethernet();
+  m.name = "Chiba/PVFS-Myrinet";
+  // Chiba City's other fabric: Myrinet 1280 — OS-bypass messaging with far
+  // lower latency and per-link bandwidth near the PCI bus limit, and a
+  // full-bisection Clos topology (no shared-backplane cap).  The PVFS
+  // servers and their disks are the same machines, so the read path shifts
+  // from wire-bound to server-disk-bound.
+  m.net.latency = us(18);
+  m.net.bandwidth = mb_per_s(66);
+  m.net.intra_node_latency = us(18);
+  m.net.intra_node_bandwidth = mb_per_s(66);
+  m.net.send_overhead = us(10);
+  m.net.recv_byte_cost = 1.0 / mb_per_s(160);  // GM DMA lands at memcpy rate
+  m.net.backplane_bandwidth = 0.0;             // full bisection
+  m.striped_fs.client_overhead = us(120);      // no kernel TCP stack
+  return m;
+}
+
 Machine chiba_local_disk() {
   Machine m = chiba_pvfs_ethernet();
   m.name = "Chiba/local-disk";

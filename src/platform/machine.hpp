@@ -42,6 +42,11 @@ Machine sp2_gpfs();
 /// Chiba City Linux cluster at ANL: fast Ethernet, PVFS with 8 I/O nodes.
 Machine chiba_pvfs_ethernet();
 
+/// Chiba City over its Myrinet fabric: same PVFS servers and disks, but
+/// low-latency full-bisection messaging — the read path becomes
+/// server-disk-bound instead of wire-bound.
+Machine chiba_pvfs_myrinet();
+
 /// Chiba City using each compute node's local disk via the PVFS interface.
 Machine chiba_local_disk();
 

@@ -134,14 +134,15 @@ std::vector<std::byte> NcFile::serialize_header() const {
   return w.take();
 }
 
-void NcFile::parse_header(std::span<const std::byte> data) {
+NcHeader parse_nc_header(std::span<const std::byte> data) {
+  NcHeader h;
   ByteReader r(data);
   std::uint64_t nd = r.u64();
   for (std::uint64_t i = 0; i < nd; ++i) {
     Dim d;
     d.name = r.str();
     d.length = r.u64();
-    dims_.push_back(std::move(d));
+    h.dims.push_back(std::move(d));
   }
   std::uint64_t nv = r.u64();
   for (std::uint64_t i = 0; i < nv; ++i) {
@@ -154,16 +155,41 @@ void NcFile::parse_header(std::span<const std::byte> data) {
     }
     v.offset = r.u64();
     v.bytes = r.u64();
-    var_index_[v.name] = static_cast<int>(vars_.size());
-    vars_.push_back(std::move(v));
+    h.var_index[v.name] = static_cast<int>(h.vars.size());
+    h.vars.push_back(std::move(v));
   }
   std::uint64_t na = r.u64();
   for (std::uint64_t i = 0; i < na; ++i) {
     std::string name = r.str();
     std::uint64_t n = r.u64();
     auto vspan = r.bytes(n);
-    atts_[name].assign(vspan.begin(), vspan.end());
+    h.atts[name].assign(vspan.begin(), vspan.end());
   }
+  return h;
+}
+
+NcHeader read_nc_header(pfs::FileSystem& fs, const std::string& path) {
+  int fd = fs.open(path, pfs::OpenMode::kRead);
+  std::vector<std::byte> fixed(8);
+  fs.read_at(fd, 0, fixed);
+  ByteReader r(fixed);
+  if (r.u32() != kMagic) {
+    fs.close(fd);
+    throw FormatError(path + ": not a PNC file");
+  }
+  std::uint32_t header_bytes = r.u32();
+  std::vector<std::byte> blob(header_bytes);
+  fs.read_at(fd, 8, blob);
+  fs.close(fd);
+  return parse_nc_header(blob);
+}
+
+void NcFile::parse_header(std::span<const std::byte> data) {
+  NcHeader h = parse_nc_header(data);
+  dims_ = std::move(h.dims);
+  vars_ = std::move(h.vars);
+  var_index_ = std::move(h.var_index);
+  atts_ = std::move(h.atts);
 }
 
 void NcFile::enddef() {

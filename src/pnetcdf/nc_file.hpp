@@ -66,6 +66,31 @@ struct NcConfig {
   std::uint64_t data_alignment = 4096;  ///< start of the data region
 };
 
+/// Parsed header of a PNC file — dims, vars (with absolute data offsets)
+/// and attributes.  Obtainable without a communicator via read_nc_header,
+/// which is what serial metadata consumers (dump inspection, the query
+/// index) use; NcFile::open parses the same blob collectively.
+struct NcHeader {
+  std::vector<Dim> dims;
+  std::vector<Var> vars;
+  std::map<std::string, int> var_index;
+  std::map<std::string, std::vector<std::byte>> atts;
+
+  const Var* find_var(const std::string& name) const {
+    auto it = var_index.find(name);
+    return it == var_index.end() ? nullptr : &vars[static_cast<std::size_t>(it->second)];
+  }
+};
+
+/// Parse a serialized header blob (the bytes after the 8-byte fixed
+/// preamble).
+NcHeader parse_nc_header(std::span<const std::byte> data);
+
+/// Serial header read of an existing PNC file: one proc, timed through the
+/// file system's normal charge model.  Throws FormatError if the file is
+/// not a PNC file.
+NcHeader read_nc_header(pfs::FileSystem& fs, const std::string& path);
+
 class NcFile {
  public:
   /// Collective create: the file starts in define mode.

@@ -1,0 +1,396 @@
+#include "query/index.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "base/byte_io.hpp"
+#include "enzo/mpiio_layout.hpp"
+#include "hdf4/sd_file.hpp"
+#include "hdf5/h5_file.hpp"
+#include "pnetcdf/nc_file.hpp"
+
+namespace paramrio::query {
+
+namespace {
+
+constexpr std::uint32_t kIndexMagic = 0x58444951;  // "QIDX"
+constexpr std::uint32_t kIndexVersion = 1;
+
+std::string grid_file_name(const std::string& base, std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".grid%06llu",
+                static_cast<unsigned long long>(id));
+  return base + buf;
+}
+
+std::string grid_group_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "grid%06llu/",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::array<std::uint64_t, 3> dims3(const std::vector<std::uint64_t>& d,
+                                   const std::string& what) {
+  if (d.size() != 3) {
+    throw FormatError("query index: dataset " + what + " is not 3-d");
+  }
+  return {d[0], d[1], d[2]};
+}
+
+void build_hdf4(pfs::FileSystem& fs, const std::string& base,
+                GenerationIndex& ix) {
+  const std::string top_path = base + ".topgrid";
+  hdf4::SdFile top = hdf4::SdFile::open(fs, top_path);
+  auto blob = top.read_attribute("metadata");
+  ix.meta = enzo::DumpMeta::deserialize(blob);
+  ix.attributes["metadata"] = blob;
+  const amr::GridDescriptor& root = ix.meta.hierarchy.root();
+  auto& root_fields = ix.fields[root.id];
+  for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+    const std::string& name =
+        amr::baryon_field_names()[static_cast<std::size_t>(f)];
+    const hdf4::SdsInfo& i = top.info(name);
+    root_fields[name] =
+        FieldExtent{top_path, i.data_offset, i.data_bytes,
+                    dims3(i.dims, top_path + ":" + name)};
+  }
+  if (ix.meta.n_particles > 0) {
+    for (std::size_t a = 0; a < enzo::kNumParticleArrays; ++a) {
+      const hdf4::SdsInfo& i = top.info(enzo::kParticleArrays[a].name);
+      ix.particles.push_back(ParticleExtent{top_path, i.data_offset,
+                                            enzo::kParticleArrays[a].elem_size});
+    }
+  }
+  top.close();
+  for (const amr::GridDescriptor& g : ix.meta.hierarchy.grids()) {
+    if (g.level == 0) continue;
+    const std::string path = grid_file_name(base, g.id);
+    hdf4::SdFile sub = hdf4::SdFile::open(fs, path);
+    auto& gf = ix.fields[g.id];
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      const std::string& name =
+          amr::baryon_field_names()[static_cast<std::size_t>(f)];
+      const hdf4::SdsInfo& i = sub.info(name);
+      gf[name] = FieldExtent{path, i.data_offset, i.data_bytes,
+                             dims3(i.dims, path + ":" + name)};
+    }
+    sub.close();
+  }
+}
+
+void build_hdf5(pfs::FileSystem& fs, const std::string& base,
+                GenerationIndex& ix) {
+  const std::string path = base + ".h5";
+  hdf5::H5File h = hdf5::H5File::open(fs, path);
+  auto blob = h.read_attribute("metadata");
+  ix.meta = enzo::DumpMeta::deserialize(blob);
+  ix.attributes["metadata"] = blob;
+  for (const amr::GridDescriptor& g : ix.meta.hierarchy.grids()) {
+    const std::string group =
+        g.level == 0 ? std::string("topgrid/") : grid_group_name(g.id);
+    auto& gf = ix.fields[g.id];
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      const std::string& name =
+          amr::baryon_field_names()[static_cast<std::size_t>(f)];
+      const hdf5::DatasetInfo& i = h.open_dataset(group + name).info();
+      gf[name] = FieldExtent{path, i.data_addr, i.data_bytes,
+                             dims3(i.dims, path + ":" + group + name)};
+    }
+  }
+  if (ix.meta.n_particles > 0) {
+    for (std::size_t a = 0; a < enzo::kNumParticleArrays; ++a) {
+      const hdf5::DatasetInfo& i =
+          h.open_dataset(std::string("topgrid/") +
+                         enzo::kParticleArrays[a].name)
+              .info();
+      ix.particles.push_back(ParticleExtent{
+          path, i.data_addr, enzo::kParticleArrays[a].elem_size});
+    }
+  }
+  h.close();
+}
+
+void build_pnetcdf(pfs::FileSystem& fs, const std::string& base,
+                   GenerationIndex& ix) {
+  const std::string path = base + ".nc";
+  pnetcdf::NcHeader h = pnetcdf::read_nc_header(fs, path);
+  auto it = h.atts.find("metadata");
+  if (it == h.atts.end()) {
+    throw FormatError(path + ": missing metadata attribute");
+  }
+  ix.meta = enzo::DumpMeta::deserialize(it->second);
+  ix.attributes = h.atts;
+  auto var_dims = [&](const pnetcdf::Var& v) {
+    std::vector<std::uint64_t> d;
+    for (int id : v.dim_ids) {
+      d.push_back(h.dims[static_cast<std::size_t>(id)].length);
+    }
+    return d;
+  };
+  for (const amr::GridDescriptor& g : ix.meta.hierarchy.grids()) {
+    const std::string group =
+        g.level == 0 ? std::string("topgrid/") : grid_group_name(g.id);
+    auto& gf = ix.fields[g.id];
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      const std::string& name =
+          amr::baryon_field_names()[static_cast<std::size_t>(f)];
+      const pnetcdf::Var* v = h.find_var(group + name);
+      if (v == nullptr) {
+        throw FormatError(path + ": missing variable " + group + name);
+      }
+      gf[name] = FieldExtent{path, v->offset, v->bytes,
+                             dims3(var_dims(*v), path + ":" + group + name)};
+    }
+  }
+  if (ix.meta.n_particles > 0) {
+    for (std::size_t a = 0; a < enzo::kNumParticleArrays; ++a) {
+      const pnetcdf::Var* v = h.find_var(std::string("topgrid/") +
+                                         enzo::kParticleArrays[a].name);
+      if (v == nullptr) {
+        throw FormatError(path + ": missing particle variable " +
+                          enzo::kParticleArrays[a].name);
+      }
+      ix.particles.push_back(ParticleExtent{
+          path, v->offset, enzo::kParticleArrays[a].elem_size});
+    }
+  }
+}
+
+void build_mpiio(pfs::FileSystem& fs, const std::string& base,
+                 GenerationIndex& ix) {
+  const std::string path = base + ".enzo";
+  int fd = fs.open(path, pfs::OpenMode::kRead);
+  std::vector<std::byte> fixed(16);
+  fs.read_at(fd, 0, fixed);
+  ByteReader r(fixed);
+  if (r.u64() != enzo::kMpiioDumpMagic) {
+    fs.close(fd);
+    throw FormatError(path + ": bad dump magic");
+  }
+  std::uint64_t meta_bytes = r.u64();
+  std::vector<std::byte> blob(meta_bytes);
+  fs.read_at(fd, 16, blob);
+  fs.close(fd);
+  ix.meta = enzo::DumpMeta::deserialize(blob);
+  ix.attributes["metadata"] = blob;
+
+  const amr::GridDescriptor& root = ix.meta.hierarchy.root();
+  enzo::MpiioSharedLayout layout =
+      enzo::build_mpiio_layout(ix.meta, root.dims);
+  auto& root_fields = ix.fields[root.id];
+  for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+    const std::string& name =
+        amr::baryon_field_names()[static_cast<std::size_t>(f)];
+    root_fields[name] =
+        FieldExtent{path, layout.field_off(f), layout.field_bytes, root.dims};
+  }
+  for (const amr::GridDescriptor& g : ix.meta.hierarchy.grids()) {
+    if (g.level == 0) continue;
+    const std::uint64_t field_bytes = g.cell_count() * sizeof(float);
+    auto& gf = ix.fields[g.id];
+    for (int f = 0; f < amr::kNumBaryonFields; ++f) {
+      const std::string& name =
+          amr::baryon_field_names()[static_cast<std::size_t>(f)];
+      gf[name] = FieldExtent{
+          path,
+          layout.subgrid_off.at(g.id) +
+              static_cast<std::uint64_t>(f) * field_bytes,
+          field_bytes, g.dims};
+    }
+  }
+  if (ix.meta.n_particles > 0) {
+    for (std::size_t a = 0; a < enzo::kNumParticleArrays; ++a) {
+      ix.particles.push_back(ParticleExtent{
+          path, layout.particle_off[a], enzo::kParticleArrays[a].elem_size});
+    }
+  }
+}
+
+/// Stream the (sorted) particle_id array and record the sample ladder.
+/// Timed: this is the one data-region scan an index build pays.
+void build_id_ladder(pfs::FileSystem& fs, GenerationIndex& ix) {
+  if (ix.meta.n_particles == 0 || ix.particles.empty()) return;
+  const ParticleExtent& ids = ix.particles[0];
+  const std::uint64_t n = ix.meta.n_particles;
+  int fd = fs.open(ids.path, pfs::OpenMode::kRead);
+  const std::uint64_t chunk_elems = (1 * MiB) / sizeof(std::uint64_t);
+  std::vector<std::byte> buf;
+  for (std::uint64_t first = 0; first < n; first += chunk_elems) {
+    const std::uint64_t count = std::min(chunk_elems, n - first);
+    buf.resize(count * sizeof(std::uint64_t));
+    std::uint64_t done = 0;
+    while (done < buf.size()) {
+      std::uint64_t got = fs.read_at(
+          fd, ids.offset + first * sizeof(std::uint64_t) + done,
+          std::span<std::byte>(buf).subspan(done));
+      if (got == 0) {
+        fs.close(fd);
+        throw IoError(ids.path + ": short read building particle-ID index");
+      }
+      done += got;
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t id = 0;
+      std::memcpy(&id, buf.data() + i * sizeof(std::uint64_t), sizeof id);
+      const std::uint64_t global = first + i;
+      if (global == 0) ix.id_min = id;
+      if (global == n - 1) ix.id_max = id;
+      if (global % kIdSampleStride == 0 || global == n - 1) {
+        ix.id_samples.push_back(IdSample{id, global});
+      }
+    }
+  }
+  fs.close(fd);
+}
+
+}  // namespace
+
+const FieldExtent& GenerationIndex::field(std::uint64_t grid_id,
+                                          const std::string& name) const {
+  auto git = fields.find(grid_id);
+  if (git == fields.end()) {
+    throw IoError("query: no grid " + std::to_string(grid_id) +
+                  " in generation " + std::to_string(gen));
+  }
+  auto fit = git->second.find(name);
+  if (fit == git->second.end()) {
+    throw IoError("query: grid " + std::to_string(grid_id) +
+                  " has no field '" + name + "'");
+  }
+  return fit->second;
+}
+
+bool GenerationIndex::has_field(std::uint64_t grid_id,
+                                const std::string& name) const {
+  auto git = fields.find(grid_id);
+  return git != fields.end() &&
+         git->second.find(name) != git->second.end();
+}
+
+std::vector<std::byte> GenerationIndex::serialize() const {
+  ByteWriter w;
+  w.u32(kIndexMagic);
+  w.u32(kIndexVersion);
+  w.u64(gen);
+  w.u8(static_cast<std::uint8_t>(format));
+  auto meta_blob = meta.serialize();
+  w.u64(meta_blob.size());
+  w.bytes(meta_blob);
+  w.u64(fields.size());
+  for (const auto& [grid_id, gf] : fields) {
+    w.u64(grid_id);
+    w.u32(static_cast<std::uint32_t>(gf.size()));
+    for (const auto& [name, e] : gf) {
+      w.str(name);
+      w.str(e.path);
+      w.u64(e.offset);
+      w.u64(e.bytes);
+      for (std::uint64_t d : e.dims) w.u64(d);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(particles.size()));
+  for (const ParticleExtent& p : particles) {
+    w.str(p.path);
+    w.u64(p.offset);
+    w.u64(p.elem_size);
+  }
+  w.u64(id_min);
+  w.u64(id_max);
+  w.u64(id_samples.size());
+  for (const IdSample& s : id_samples) {
+    w.u64(s.id);
+    w.u64(s.index);
+  }
+  w.u64(attributes.size());
+  for (const auto& [name, value] : attributes) {
+    w.str(name);
+    w.u64(value.size());
+    w.bytes(value);
+  }
+  return w.take();
+}
+
+GenerationIndex GenerationIndex::deserialize(std::span<const std::byte> data) {
+  ByteReader r(data);
+  if (r.u32() != kIndexMagic) {
+    throw FormatError("query index blob: bad magic");
+  }
+  std::uint32_t version = r.u32();
+  if (version != kIndexVersion) {
+    throw FormatError("query index blob: unsupported version " +
+                      std::to_string(version));
+  }
+  GenerationIndex ix;
+  ix.gen = r.u64();
+  ix.format = static_cast<enzo::DumpFormat>(r.u8());
+  std::uint64_t meta_bytes = r.u64();
+  ix.meta = enzo::DumpMeta::deserialize(r.bytes(meta_bytes));
+  std::uint64_t ngrids = r.u64();
+  for (std::uint64_t g = 0; g < ngrids; ++g) {
+    std::uint64_t grid_id = r.u64();
+    std::uint32_t nf = r.u32();
+    auto& gf = ix.fields[grid_id];
+    for (std::uint32_t f = 0; f < nf; ++f) {
+      std::string name = r.str();
+      FieldExtent e;
+      e.path = r.str();
+      e.offset = r.u64();
+      e.bytes = r.u64();
+      for (auto& d : e.dims) d = r.u64();
+      gf[std::move(name)] = std::move(e);
+    }
+  }
+  std::uint32_t np = r.u32();
+  for (std::uint32_t p = 0; p < np; ++p) {
+    ParticleExtent e;
+    e.path = r.str();
+    e.offset = r.u64();
+    e.elem_size = r.u64();
+    ix.particles.push_back(std::move(e));
+  }
+  ix.id_min = r.u64();
+  ix.id_max = r.u64();
+  std::uint64_t ns = r.u64();
+  for (std::uint64_t s = 0; s < ns; ++s) {
+    IdSample sample;
+    sample.id = r.u64();
+    sample.index = r.u64();
+    ix.id_samples.push_back(sample);
+  }
+  std::uint64_t na = r.u64();
+  for (std::uint64_t a = 0; a < na; ++a) {
+    std::string name = r.str();
+    std::uint64_t bytes = r.u64();
+    auto span = r.bytes(bytes);
+    ix.attributes[std::move(name)].assign(span.begin(), span.end());
+  }
+  return ix;
+}
+
+GenerationIndex build_index(pfs::FileSystem& fs, const std::string& gen_base,
+                            std::uint64_t gen) {
+  GenerationIndex ix;
+  ix.gen = gen;
+  ix.format = enzo::detect_dump_format(fs, gen_base);
+  switch (ix.format) {
+    case enzo::DumpFormat::kHdf4:
+      build_hdf4(fs, gen_base, ix);
+      break;
+    case enzo::DumpFormat::kMpiIo:
+      build_mpiio(fs, gen_base, ix);
+      break;
+    case enzo::DumpFormat::kHdf5:
+      build_hdf5(fs, gen_base, ix);
+      break;
+    case enzo::DumpFormat::kPnetcdf:
+      build_pnetcdf(fs, gen_base, ix);
+      break;
+    case enzo::DumpFormat::kUnknown:
+      throw IoError("query: no dump found under '" + gen_base + "'");
+  }
+  build_id_ladder(fs, ix);
+  return ix;
+}
+
+}  // namespace paramrio::query
